@@ -1,0 +1,43 @@
+"""The Combiner's combination search (paper section 6).
+
+The paper notes the search is exhaustive; these benches measure it in
+its easy (direct single-instruction match) and hard (two-instruction
+composition over the full wiring space) regimes.
+"""
+
+import pytest
+
+from benchmarks.conftest import full_report
+
+from repro.discovery.combiner import Combiner
+
+
+@pytest.fixture(scope="module")
+def mips_semantics():
+    return full_report("mips").extraction.semantics
+
+
+def test_direct_match(benchmark, mips_semantics):
+    combiner = Combiner(mips_semantics, bits=32)
+    result = benchmark(combiner.find, "Plus")
+    assert result is not None and len(result.instrs) == 1
+
+
+def test_two_instruction_composition(benchmark, mips_semantics):
+    table = {k: v for k, v in mips_semantics.items() if not k.startswith("subu(")}
+    combiner = Combiner(table, bits=32)
+    result = benchmark(combiner.find, "Minus")
+    assert result is not None and len(result.instrs) == 2
+
+
+def test_exhaustive_failure(benchmark, mips_semantics):
+    """The worst case: the operator is not derivable and the whole
+    sequence x wiring space is enumerated."""
+    table = {
+        k: v
+        for k, v in mips_semantics.items()
+        if k.split("(")[0] in ("addu", "subu", "and", "or", "xor", "negu", "not")
+    }
+    combiner = Combiner(table, bits=32)
+    result = benchmark(combiner.find, "Mult")
+    assert result is None

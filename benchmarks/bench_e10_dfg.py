@@ -1,0 +1,59 @@
+"""E10/E11 (paper Figures 10/11): data-flow graphs and graph matching."""
+
+import pytest
+
+from benchmarks.conftest import TARGETS, full_report
+
+from repro.discovery.dfg import build_dfg
+from repro.discovery.graphmatch import match_binary
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_build_all_dfgs(benchmark, target):
+    report = full_report(target)
+    samples = [
+        s
+        for s in report.corpus.usable_samples()
+        if s.kind in ("binary", "unary", "literal", "copy")
+    ]
+
+    def run():
+        return [build_dfg(s, report.addr_map) for s in samples]
+
+    graphs = benchmark(run)
+    assert len(graphs) == len(samples)
+    benchmark.extra_info["graphs"] = len(graphs)
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_graph_matching_roles(benchmark, target):
+    report = full_report(target)
+    samples = [
+        (s, build_dfg(s, report.addr_map))
+        for s in report.corpus.usable_samples()
+        if s.kind == "binary"
+    ]
+
+    def run():
+        matched = 0
+        for sample, graph in samples:
+            result = match_binary(sample, graph)
+            if result.p_node is not None:
+                matched += 1
+        return matched
+
+    matched = benchmark(run)
+    benchmark.extra_info["matched"] = matched
+    benchmark.extra_info["samples"] = len(samples)
+    assert matched >= len(samples) // 2
+
+
+def test_dot_rendering(benchmark):
+    report = full_report("mips")
+    sample = next(
+        s for s in report.corpus.usable_samples() if s.name == "int_mul_a_bOPc"
+    )
+    graph = build_dfg(sample, report.addr_map)
+
+    dot = benchmark(graph.to_dot, "mul")
+    assert "digraph" in dot

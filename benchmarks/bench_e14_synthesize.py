@@ -1,0 +1,35 @@
+"""E14 (paper Figure 15): synthesis and the Combiner's verifications."""
+
+import pytest
+
+from benchmarks.conftest import TARGETS, full_report
+
+from repro.discovery.synthesize import Synthesizer
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_synthesize_machine_description(benchmark, target):
+    report = full_report(target)
+
+    def run():
+        synthesizer = Synthesizer(
+            report.engine, report.addr_map, report.extraction, report.enquire
+        )
+        return synthesizer.synthesize(
+            branch_model=report.branch_model,
+            call_protocol=report.call_protocol,
+            frame_model=report.frame_model,
+        )
+
+    spec = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(spec.summary())
+    assert len(spec.rules) >= 12
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_render_beg_description(benchmark, target):
+    spec = full_report(target).spec
+
+    text = benchmark(spec.render_beg)
+    assert "RULE" in text
+    benchmark.extra_info["spec_lines"] = text.count("\n")

@@ -1,0 +1,74 @@
+"""E15: assembler-syntax probing costs (paper sections 2/3.1).
+
+Each probe is an accept/reject interaction with the target assembler;
+the benchmarks report both the time and (via extra_info) the number of
+assembler invocations each discovery needs.
+"""
+
+import pytest
+
+from benchmarks.conftest import TARGETS, front_pipeline
+
+from repro.machines.machine import RemoteMachine
+from repro.discovery import probe
+from repro.discovery.asmmodel import DImm, DInstr, DReg
+from repro.discovery.syntax import DiscoveredSyntax
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_comment_char_probe(benchmark, target):
+    machine = RemoteMachine(target)
+
+    def run():
+        return probe.discover_comment_char(machine)
+
+    char = benchmark(run)
+    assert char in "#!|"
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_literal_and_loadimm_probe(benchmark, target):
+    machine = RemoteMachine(target)
+
+    def run():
+        syntax = DiscoveredSyntax()
+        syntax.comment_char = probe.discover_comment_char(machine)
+        probe.discover_literal_syntax(machine, syntax)
+        probe.discover_loadimm(machine, syntax)
+        return syntax
+
+    syntax = benchmark(run)
+    assert syntax.loadimm is not None
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_register_universe_probe(benchmark, target):
+    machine, syntax, corpus = front_pipeline(target)
+    asms = [s.asm_text for s in corpus.samples if s.usable][:30]
+    log = probe.ProbeLog()
+
+    def run():
+        scratch = DiscoveredSyntax()
+        scratch.comment_char = syntax.comment_char
+        scratch.imm_prefix = syntax.imm_prefix
+        probe.discover_loadimm(machine, scratch)  # seeds the first register
+        probe.discover_registers(machine, scratch, asms, log)
+        return scratch.registers
+
+    regs = benchmark(run)
+    assert len(regs) >= 8
+    benchmark.extra_info["register_probes"] = log.register_probes
+
+
+def test_sparc_immediate_range_probe(benchmark):
+    """The paper's worked example: add's immediate is [-4096, 4095]."""
+    machine, syntax, _corpus = front_pipeline("sparc")
+    instr = DInstr("add", [DReg("%o0"), DImm(0), DReg("%o1")])
+    log = probe.ProbeLog()
+
+    def run():
+        return probe.immediate_range(machine, syntax, instr, 1, log)
+
+    lo, hi = benchmark(run)
+    assert (lo, hi) == (-4096, 4095)
+    benchmark.extra_info["range_probes"] = log.range_probes

@@ -1,0 +1,48 @@
+"""E1 (paper Figure 1): the self-retargeting compiler.
+
+Measures what a user of ``ac -retarget -ARCH A3 ...`` experiences:
+compiling and running a language-A program through a *generated* back
+end on each architecture.  (The retargeting itself is benchmarked as
+T1.)
+"""
+
+import pytest
+
+from benchmarks.conftest import TARGETS, full_report
+
+from repro.beg.codegen import GeneratedBackend
+from repro.beg.ir import eval_program
+from repro.toyc.frontend import parse
+
+PROGRAM = (
+    "var a, b, t, n; a := 0; b := 1; n := 0;"
+    " while n < 20 do t := a + b; a := b; b := t; n := n + 1; end"
+    " print a; print a * 3 + 1; print a % 7;"
+)
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_compile_through_generated_backend(benchmark, target):
+    report = full_report(target)
+    backend = GeneratedBackend(report.spec)
+    program = parse(PROGRAM)
+
+    asm = benchmark(backend.compile_ir, program)
+    result = report.corpus.machine.run_asm([asm])
+    expected = eval_program(program, bits=report.enquire.word_bits)
+    assert result.ok and result.output == expected
+    benchmark.extra_info["asm_lines"] = asm.count("\n")
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_execute_generated_code(benchmark, target):
+    report = full_report(target)
+    backend = GeneratedBackend(report.spec)
+    asm = backend.compile_ir(parse(PROGRAM))
+    machine = report.corpus.machine
+    obj = machine.assemble(asm)
+    exe = machine.link([obj])
+
+    result = benchmark(machine.execute, exe)
+    assert result.ok
+    benchmark.extra_info["steps"] = result.steps

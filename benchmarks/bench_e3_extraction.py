@@ -1,0 +1,49 @@
+"""E3 (paper Figure 3): sample generation and region extraction."""
+
+import pytest
+
+from benchmarks.conftest import TARGETS, front_pipeline
+
+from repro.discovery.generator import SampleGenerator
+from repro.discovery.lexer import extract_region, find_delimiters
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_generate_corpus(benchmark, target):
+    """~150 samples per type: C generation + native compilation + one
+    recorded execution each."""
+    machine, syntax, _ = front_pipeline(target)
+
+    def run():
+        generator = SampleGenerator(machine, syntax, seed=99)
+        return generator.generate(word_bits=64 if target == "alpha" else 32)
+
+    corpus = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["samples"] = len(corpus.samples)
+    assert len(corpus.samples) > 100
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_extract_all_regions(benchmark, target):
+    machine, syntax, corpus = front_pipeline(target)
+    del machine
+    samples = [s for s in corpus.samples if s.usable]
+
+    def run():
+        count = 0
+        for sample in samples:
+            extract_region(sample, syntax)
+            count += 1
+        return count
+
+    count = benchmark(run)
+    assert count == len(samples)
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_find_delimiters_single_sample(benchmark, target):
+    _machine, syntax, corpus = front_pipeline(target)
+    sample = next(s for s in corpus.samples if s.usable)
+
+    begin, end = benchmark(find_delimiters, sample.asm_text, syntax.comment_char)
+    assert begin != end

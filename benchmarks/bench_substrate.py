@@ -1,0 +1,61 @@
+"""Substrate throughput: the simulated toolchains themselves.
+
+Not a paper experiment, but the denominators behind every other number:
+how fast the simulated targets compile, assemble, link and execute.
+"""
+
+import pytest
+
+from benchmarks.conftest import TARGETS
+
+from repro.machines.machine import RemoteMachine
+
+_SOURCE = (
+    "int F(int n){ if (n < 2) return 1; return n * F(n - 1); }"
+    ' main(){ printf("%i\\n", F(10)); exit(0); }'
+)
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_c_compile(benchmark, target):
+    machine = RemoteMachine(target)
+    asm = benchmark(machine.compile_c, _SOURCE)
+    assert ".globl main" in asm
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_assemble(benchmark, target):
+    machine = RemoteMachine(target)
+    asm = machine.compile_c(_SOURCE)
+    handle = benchmark(machine.assemble, asm)
+    assert handle is not None
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_link(benchmark, target):
+    machine = RemoteMachine(target)
+    obj = machine.assemble(machine.compile_c(_SOURCE))
+    exe = benchmark(machine.link, [obj])
+    assert exe is not None
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_execute(benchmark, target):
+    machine = RemoteMachine(target)
+    exe = machine.link([machine.assemble(machine.compile_c(_SOURCE))])
+    result = benchmark(machine.execute, exe)
+    assert result.ok and result.output == "3628800\n"
+    benchmark.extra_info["steps"] = result.steps
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_full_compile_run_cycle(benchmark, target):
+    """One compile+assemble+link+execute round trip: the unit of cost of
+    a single sample or mutation in the discovery pipeline."""
+    machine = RemoteMachine(target)
+
+    def cycle():
+        return machine.run_c([_SOURCE])
+
+    result = benchmark(cycle)
+    assert result.output == "3628800\n"

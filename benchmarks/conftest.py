@@ -1,0 +1,57 @@
+"""Benchmark fixtures: cached discovery artifacts per target.
+
+Full architecture discovery is itself one of the benchmarks (T1); the
+per-phase benchmarks reuse cached reports so each measures only its own
+phase.
+"""
+
+import pytest
+
+from repro.machines.machine import RemoteMachine
+from repro.discovery import probe
+from repro.discovery.driver import ArchitectureDiscovery
+from repro.discovery.generator import SampleGenerator
+from repro.discovery.lexer import extract_region
+from repro.discovery.mutation import MutationEngine
+from repro.discovery.syntax import DiscoveredSyntax
+
+TARGETS = ("x86", "mips", "sparc", "alpha", "vax", "m68k")
+
+_REPORTS = {}
+_FRONTS = {}
+
+
+def full_report(target):
+    """Cached full-discovery report."""
+    if target not in _REPORTS:
+        _REPORTS[target] = ArchitectureDiscovery(RemoteMachine(target)).run()
+    return _REPORTS[target]
+
+
+def front_pipeline(target, seed=11):
+    """Cached (machine, syntax, corpus) with regions extracted but *no*
+    preprocessing: raw material for the mutation/extraction benches."""
+    if target not in _FRONTS:
+        machine = RemoteMachine(target)
+        syntax = DiscoveredSyntax()
+        syntax.comment_char = probe.discover_comment_char(machine)
+        probe.discover_literal_syntax(machine, syntax)
+        probe.discover_loadimm(machine, syntax)
+        generator = SampleGenerator(machine, syntax, seed=seed)
+        corpus = generator.generate(word_bits=64 if target == "alpha" else 32)
+        asms = [s.asm_text for s in corpus.samples if s.usable]
+        probe.discover_registers(machine, syntax, asms)
+        for sample in corpus.samples:
+            if sample.usable:
+                extract_region(sample, syntax)
+        _FRONTS[target] = (machine, syntax, corpus)
+    return _FRONTS[target]
+
+
+def fresh_engine(corpus, target):
+    return MutationEngine(corpus, word_bits=64 if target == "alpha" else 32, seed=5)
+
+
+@pytest.fixture(params=TARGETS)
+def target(request):
+    return request.param

@@ -1,0 +1,12 @@
+"""Repository-root pytest bootstrap.
+
+Makes ``import repro`` work straight from a checkout (no install
+needed), so ``pytest tests/`` and ``pytest benchmarks/`` run anywhere.
+"""
+
+import pathlib
+import sys
+
+_SRC = str(pathlib.Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

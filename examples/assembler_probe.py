@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Assembler syntax discovery, step by step (paper sections 2-3.1).
+
+    python examples/assembler_probe.py [target]
+
+Shows the accept/reject probing techniques in isolation: the comment
+character found by appending an erroneous line, the literal bases found
+by scanning for 1235 and rewriting it, the load-immediate template, the
+register universe found by assemble+link probing, and the immediate
+range of an arithmetic instruction found by binary search -- the paper's
+SPARC result: add takes [-4096, 4095].
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.machines.machine import RemoteMachine, target_names
+from repro.discovery import probe
+from repro.discovery.asmmodel import DImm, DReg
+from repro.discovery.generator import SampleGenerator
+from repro.discovery.syntax import DiscoveredSyntax
+
+
+def main():
+    target = sys.argv[1] if len(sys.argv) > 1 else "sparc"
+    if target not in target_names():
+        raise SystemExit(f"unknown target {target!r}; pick one of {target_names()}")
+    machine = RemoteMachine(target)
+    log = probe.ProbeLog()
+    syntax = DiscoveredSyntax()
+
+    syntax.comment_char = probe.discover_comment_char(machine, log)
+    print(f"comment character: {syntax.comment_char!r}  ({log.comment_probes} probes)")
+
+    probe.discover_literal_syntax(machine, syntax, log)
+    print(f"immediate prefix:  {syntax.imm_prefix!r}, compiler emits base {syntax.emitted_base}")
+    for base, accepted in sorted(syntax.accepted_bases.items()):
+        print(f"  assembler accepts {base:10s}: {'yes' if accepted else 'no'}")
+
+    probe.discover_loadimm(machine, syntax, log)
+    example = syntax.render_instr(syntax.load_imm_instr(1235, sorted(syntax.registers)[0]))
+    print(f"load-immediate:    {example.strip()}")
+
+    print("generating a few samples to scan for register names...")
+    corpus = SampleGenerator(machine, syntax, seed=3).generate(
+        word_bits=64 if target == "alpha" else 32, extra_value_rounds=0
+    )
+    asms = [s.asm_text for s in corpus.samples if s.usable]
+    probe.discover_registers(machine, syntax, asms, log)
+    print(f"registers ({len(syntax.registers)}, {log.register_probes} probes):")
+    print("  " + " ".join(sorted(syntax.registers)))
+
+    # Immediate-range probing on an instruction taken from the samples.
+    from repro.discovery.asmmodel import split_lines
+    from repro.discovery.lexer import tokenize_region
+
+    probe_instr = None
+    for sample in corpus.samples:
+        if not sample.usable:
+            continue
+        for line in split_lines(sample.asm_text, syntax.comment_char):
+            if line.mnemonic and not line.is_directive:
+                instrs = tokenize_region([line.text], syntax)
+                for instr in instrs:
+                    imm_positions = [
+                        k for k, op in enumerate(instr.operands) if isinstance(op, DImm)
+                    ]
+                    if imm_positions and any(
+                        isinstance(op, DReg) for op in instr.operands
+                    ):
+                        probe_instr = (instr, imm_positions[0])
+                        break
+            if probe_instr:
+                break
+        if probe_instr:
+            break
+    if probe_instr:
+        instr, position = probe_instr
+        lo, hi = probe.immediate_range(machine, syntax, instr, position, log)
+        print(
+            f"immediate range of `{syntax.render_instr(instr).strip()}` "
+            f"operand {position}: [{lo}, {hi}]  ({log.range_probes} probes)"
+        )
+    print(f"\nassembler interactions: {machine.stats.assemblies} "
+          f"({machine.stats.assembly_errors} rejections)")
+
+
+if __name__ == "__main__":
+    main()

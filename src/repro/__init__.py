@@ -1,0 +1,40 @@
+"""Reproduction of Collberg's PLDI'97 paper.
+
+"Reverse Interpretation + Mutation Analysis = Automatic Retargeting".
+
+The package is organised as follows:
+
+- :mod:`repro.machines` -- simulated target machines (SPARC, Alpha, MIPS,
+  VAX, x86): assembler, linker, executor, and a ``RemoteMachine`` facade.
+- :mod:`repro.cc` -- a miniature C compiler with one code generator per
+  target, standing in for the native C compilers the paper probes.
+- :mod:`repro.discovery` -- the paper's contribution: the automatic
+  architecture discovery unit (Generator, Lexer, Preprocessor with
+  mutation analysis, Extractor with graph matching and reverse
+  interpretation, Synthesizer).
+- :mod:`repro.beg` -- a BEG-like back-end generator consuming the
+  synthesized machine descriptions.
+- :mod:`repro.toyc` -- a small compiler demonstrating self-retargeting
+  code generation end to end.
+"""
+
+from repro.errors import (
+    AssemblerError,
+    CompilerError,
+    DiscoveryError,
+    ExecutionError,
+    LinkerError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssemblerError",
+    "CompilerError",
+    "DiscoveryError",
+    "ExecutionError",
+    "LinkerError",
+    "ReproError",
+    "__version__",
+]

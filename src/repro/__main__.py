@@ -1,0 +1,118 @@
+"""Command-line interface.
+
+    python -m repro discover <target> [--out DIR] [--seed N]
+    python -m repro retarget <target>... --program FILE.a
+    python -m repro run <target> --program FILE.a
+    python -m repro targets
+
+Mirrors the paper's user story: the only inputs are the target machine
+("its internet address") and the toolchain command lines -- here, the
+name of one of the five simulated machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.machines.machine import RemoteMachine, target_names
+
+
+def _cmd_targets(_args):
+    for name in target_names():
+        machine = RemoteMachine(name)
+        print(f"{name:8s} host={machine.toolchain.host} cc='{machine.toolchain.cc}'")
+    return 0
+
+
+def _cmd_discover(args):
+    from repro.discovery.driver import ArchitectureDiscovery
+
+    machine = RemoteMachine(args.target)
+    report = ArchitectureDiscovery(machine, seed=args.seed).run()
+    print(report.render_summary())
+    if args.out:
+        from repro.reporting import write_report
+
+        for path in write_report(report, args.out):
+            print(f"wrote {path}")
+    else:
+        print()
+        print(report.spec.render_beg())
+    return 0
+
+
+def _read_program(args):
+    if args.program == "-":
+        return sys.stdin.read()
+    with open(args.program) as handle:
+        return handle.read()
+
+
+def _cmd_retarget(args):
+    from repro.toyc import SelfRetargetingCompiler
+
+    source = _read_program(args)
+    ac = SelfRetargetingCompiler(seed=args.seed)
+    status = 0
+    for target in args.targets:
+        print(f"=== ac -retarget -ARCH {target} ===")
+        ac.retarget(RemoteMachine(target))
+        ok, output, expected = ac.check(source, target)
+        print(output, end="")
+        if not ok:
+            print(f"!! output mismatch; reference interpreter says {expected!r}")
+            status = 1
+    return status
+
+
+def _cmd_run(args):
+    from repro.toyc import SelfRetargetingCompiler
+
+    source = _read_program(args)
+    ac = SelfRetargetingCompiler(seed=args.seed)
+    ac.retarget(RemoteMachine(args.target))
+    if args.emit_asm:
+        print(ac.compile(source, args.target))
+        return 0
+    result = ac.run(source, args.target)
+    print(result.output, end="")
+    return 0 if result.ok else 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("targets", help="list the simulated machines")
+
+    p_discover = sub.add_parser("discover", help="run architecture discovery")
+    p_discover.add_argument("target", choices=target_names())
+    p_discover.add_argument("--out", help="write artifacts to this directory")
+    p_discover.add_argument("--seed", type=int, default=1997)
+
+    p_retarget = sub.add_parser(
+        "retarget", help="retarget ac and validate a program on each target"
+    )
+    p_retarget.add_argument("targets", nargs="+", choices=target_names())
+    p_retarget.add_argument("--program", required=True, help="language-A file, or -")
+    p_retarget.add_argument("--seed", type=int, default=1997)
+
+    p_run = sub.add_parser("run", help="compile and run a language-A program")
+    p_run.add_argument("target", choices=target_names())
+    p_run.add_argument("--program", required=True, help="language-A file, or -")
+    p_run.add_argument("--emit-asm", action="store_true", help="print assembly only")
+    p_run.add_argument("--seed", type=int, default=1997)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "targets": _cmd_targets,
+        "discover": _cmd_discover,
+        "retarget": _cmd_retarget,
+        "run": _cmd_run,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""A BEG-like back-end generator.
+
+The paper feeds its discovered machine descriptions to BEG (Emmelmann,
+Schroer & Landwehr, PLDI'89).  This package plays BEG's role: it defines
+the machine-description format the Synthesizer produces
+(:mod:`~repro.beg.spec`), a small tree intermediate code
+(:mod:`~repro.beg.ir`), and generates a working code generator from a
+description (:mod:`~repro.beg.codegen`).
+"""
+
+from repro.beg.codegen import GeneratedBackend
+from repro.beg.spec import MachineSpec, OpRule
+
+__all__ = ["GeneratedBackend", "MachineSpec", "OpRule"]

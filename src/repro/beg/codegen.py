@@ -1,0 +1,322 @@
+"""The generated code generator: from a MachineSpec to target assembly.
+
+A BEG-generated back end "will perform no optimization, not even local
+common subexpression elimination" (paper section 7.1.1); ours follows
+suit with a deliberately simple slot-machine model: every intermediate
+value lives in a frame slot, registers are only live inside one rule
+application, so discovered emission templates can never clash with live
+values.
+"""
+
+from __future__ import annotations
+
+from repro.beg.ir import (
+    Assign,
+    BinOp,
+    Branch,
+    Const,
+    Exit,
+    Jump,
+    Label,
+    Local,
+    Print,
+    RELATIONS,
+    UnOp,
+)
+from repro.discovery.asmmodel import DImm, DMem, DReg, DSym, instantiate
+from repro.errors import ReproError
+
+
+class BackendError(ReproError):
+    """The generated back end cannot compile this program."""
+
+
+class GeneratedBackend:
+    """A code generator produced from a discovered machine description."""
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.syntax = spec.syntax
+        if spec.frame is None or not spec.frame.slots:
+            raise BackendError("machine description has no frame model")
+        # The last frame slot is reserved for the print idiom.
+        self.print_slot = spec.frame.slots[-1]
+        self.max_slots = len(spec.frame.slots) - 1
+        # Probed register classes; None means unconstrained.
+        self._load_dest = _as_set(spec.load_dest_class)
+        self._store_src = _as_set(spec.store_src_class)
+        self._loadimm = _as_set(spec.loadimm_class)
+        #: class for a general value register (loadable and storable)
+        self._value_class = _intersect(self._load_dest, self._store_src)
+
+    # ------------------------------------------------------------------
+
+    def compile_ir(self, program):
+        """Compile an IRProgram to target assembly text."""
+        if program.locals_used > self.max_slots:
+            raise BackendError(
+                f"program needs {program.locals_used} locals; frame has {self.max_slots}"
+            )
+        self._lines = []
+        self._label_map = {}
+        for stmt in program.stmts:
+            self._gen_stmt(stmt, program)
+        out = []
+        out.extend(self.spec.frame.data_lines)
+        out.extend(self.spec.frame.prologue_lines)
+        out.extend(self._lines)
+        return "\n".join(out) + "\n"
+
+    # -- emission helpers ------------------------------------------------
+
+    def _emit(self, instrs):
+        for instr in instrs:
+            self._lines.append(self.syntax.render_instr(instr))
+
+    def _emit_label(self, name):
+        self._lines.append(f"{self._ir_label(name)}:")
+
+    def _ir_label(self, name):
+        if name not in self._label_map:
+            self._label_map[name] = f"T{len(self._label_map)}_{name}"
+        return self._label_map[name]
+
+    def _slot_mem(self, index):
+        return self.spec.frame.slots[index]
+
+    # -- registers ----------------------------------------------------------
+
+    def _fresh_pool(self):
+        return list(self.spec.allocatable)
+
+    def _alloc(self, pool, *constraints):
+        """Take a register satisfying every (non-None) class constraint."""
+        allowed = _intersect(*constraints)
+        for i, reg in enumerate(pool):
+            if allowed is None or reg in allowed:
+                return pool.pop(i)
+        raise BackendError("out of allocatable registers in a rule")
+
+    # -- values --------------------------------------------------------------
+
+    def _load(self, slot_index, reg):
+        self._emit(
+            instantiate(
+                self.spec.load_template,
+                {"slot": self._slot_mem(slot_index), "dest": DReg(reg)},
+            )
+        )
+
+    def _store(self, reg, slot_index):
+        self._emit(
+            instantiate(
+                self.spec.store_template,
+                {"src": DReg(reg), "slot": self._slot_mem(slot_index)},
+            )
+        )
+
+    def _store_to_mem(self, reg, mem):
+        self._emit(
+            instantiate(self.spec.store_template, {"src": DReg(reg), "slot": mem})
+        )
+
+    def _load_imm(self, value, reg):
+        self._emit([self.syntax.load_imm_instr(value, reg)])
+
+    def _reg_move(self, src, dest):
+        self._emit(instantiate(self.spec.reg_move, {"src": DReg(src), "dest": DReg(dest)}))
+
+    # -- expressions -------------------------------------------------------------
+
+    def _gen_expr(self, expr, temps):
+        """Evaluate *expr* into a frame slot; returns the slot index."""
+        if isinstance(expr, Local):
+            return expr.index
+        if isinstance(expr, Const):
+            pool = self._fresh_pool()
+            reg = self._alloc(pool, self._loadimm, self._store_src)
+            self._load_imm(expr.value, reg)
+            slot = temps.take()
+            self._store(reg, slot)
+            return slot
+        if isinstance(expr, UnOp):
+            ir_op = {"Neg": "Neg", "Not": "Not"}[expr.op]
+            rule = self.spec.rules.get(ir_op)
+            if rule is None:
+                raise BackendError(f"no rule for {ir_op} on {self.spec.target}")
+            operand_slot = self._gen_expr(expr.operand, temps)
+            return self._apply_rule(rule, operand_slot, None, temps)
+        if isinstance(expr, BinOp):
+            rule = self.spec.rules.get(expr.op)
+            imm_rule = self.spec.imm_rules.get(expr.op)
+            if (
+                imm_rule is not None
+                and isinstance(expr.right, Const)
+                and _imm_fits(imm_rule, expr.right.value)
+            ):
+                left_slot = self._gen_expr(expr.left, temps)
+                return self._apply_rule(
+                    imm_rule, left_slot, None, temps, imm=expr.right.value
+                )
+            if rule is None:
+                raise BackendError(f"no rule for {expr.op} on {self.spec.target}")
+            left_slot = self._gen_expr(expr.left, temps)
+            right_slot = self._gen_expr(expr.right, temps)
+            return self._apply_rule(rule, left_slot, right_slot, temps)
+        raise BackendError(f"cannot generate IR expression {expr!r}")
+
+    def _apply_rule(self, rule, left_slot, right_slot, temps, imm=None):
+        pool = self._fresh_pool()
+        mapping = {}
+        slots_used = rule.slots_used()
+        classes = getattr(rule, "slot_classes", None) or {}
+
+        def slot_class(name):
+            allowed = classes.get(name)
+            return set(allowed) if allowed else None
+
+        two_address = getattr(rule, "two_address", False)
+        if "result" in slots_used or two_address:
+            constraints = [slot_class("result"), self._store_src]
+            if two_address:
+                constraints += [slot_class("left"), self._load_dest]
+            result_reg = self._alloc(pool, *constraints)
+        else:
+            result_reg = None
+        if "left" in slots_used or two_address:
+            if two_address:
+                left_reg = result_reg
+            else:
+                left_reg = self._alloc(pool, slot_class("left"), self._load_dest)
+            self._load(left_slot, left_reg)
+            mapping["left"] = DReg(left_reg)
+        if "right" in slots_used and right_slot is not None:
+            right_reg = self._alloc(pool, slot_class("right"), self._load_dest)
+            self._load(right_slot, right_reg)
+            mapping["right"] = DReg(right_reg)
+        if imm is not None:
+            mapping["imm"] = DImm(imm, self.syntax.imm_prefix)
+        for name in sorted(slots_used):
+            if name.startswith("scratch"):
+                mapping[name] = DReg(self._alloc(pool, slot_class(name)))
+        if result_reg is not None:
+            mapping["result"] = DReg(result_reg)
+        self._emit(instantiate(rule.instrs, mapping))
+        out_slot = temps.take()
+        result_literal = getattr(rule, "result_literal", None)
+        if result_literal:
+            self._store(result_literal, out_slot)
+        elif result_reg is not None:
+            self._store(result_reg, out_slot)
+        else:
+            raise BackendError(f"rule {rule.ir_op} produces no result")
+        return out_slot
+
+    # -- statements -----------------------------------------------------------------
+
+    def _gen_stmt(self, stmt, program):
+        temps = _TempSlots(program.locals_used, self.max_slots)
+        if isinstance(stmt, Assign):
+            slot = self._gen_expr(stmt.value, temps)
+            if slot != stmt.target.index:
+                pool = self._fresh_pool()
+                reg = self._alloc(pool, self._value_class)
+                self._load(slot, reg)
+                self._store(reg, stmt.target.index)
+        elif isinstance(stmt, Branch):
+            relation = RELATIONS[stmt.op]
+            rule = self.spec.branch.rules.get(relation) if self.spec.branch else None
+            if rule is None:
+                raise BackendError(f"no branch rule for {stmt.op}")
+            left_slot = self._gen_expr(stmt.left, temps)
+            right_slot = self._gen_expr(stmt.right, temps)
+            pool = self._fresh_pool()
+            classes = getattr(rule, "slot_classes", None) or {}
+
+            def slot_class(name):
+                allowed = classes.get(name)
+                return set(allowed) if allowed else None
+
+            left_reg = self._alloc(pool, slot_class("left"), self._load_dest)
+            right_reg = self._alloc(pool, slot_class("right"), self._load_dest)
+            self._load(left_slot, left_reg)
+            self._load(right_slot, right_reg)
+            mapping = {
+                "left": DReg(left_reg),
+                "right": DReg(right_reg),
+                "label": DSym(self._ir_label(stmt.label)),
+            }
+            for name in sorted(rule_slots(rule)):
+                if name.startswith("scratch"):
+                    mapping[name] = DReg(self._alloc(pool, slot_class(name)))
+            self._emit(instantiate(rule.instrs, mapping))
+        elif isinstance(stmt, Jump):
+            if not self.spec.branch or not self.spec.branch.uncond:
+                raise BackendError("no unconditional jump discovered")
+            from repro.discovery.asmmodel import DInstr
+
+            self._emit([DInstr(self.spec.branch.uncond, [DSym(self._ir_label(stmt.label))])])
+        elif isinstance(stmt, Label):
+            self._emit_label(stmt.name)
+        elif isinstance(stmt, Print):
+            slot = self._gen_expr(stmt.value, temps)
+            pool = self._fresh_pool()
+            reg = self._alloc(pool, self._value_class)
+            self._load(slot, reg)
+            self._store_to_mem(reg, self.print_slot)
+            self._emit(
+                instantiate(
+                    self.spec.frame.print_template, {"print_slot": self.print_slot}
+                )
+            )
+        elif isinstance(stmt, Exit):
+            self._emit(instantiate(self.spec.frame.exit_template, {}))
+        else:
+            raise BackendError(f"cannot generate IR statement {stmt!r}")
+
+
+def _as_set(values):
+    return set(values) if values else None
+
+
+def _intersect(*sets):
+    live = [s for s in sets if s is not None]
+    if not live:
+        return None
+    out = set(live[0])
+    for s in live[1:]:
+        out &= s
+    return out
+
+
+def rule_slots(rule):
+    from repro.discovery.asmmodel import Slot
+
+    names = set()
+    for instr in rule.instrs:
+        for op in instr.operands:
+            if isinstance(op, Slot):
+                names.add(op.name)
+    return names
+
+
+def _imm_fits(rule, value):
+    if rule.imm_range is None:
+        return True
+    lo, hi = rule.imm_range
+    return lo <= value <= hi
+
+
+class _TempSlots:
+    """Per-statement temporary slot allocator."""
+
+    def __init__(self, base, limit):
+        self.next = base
+        self.limit = limit
+
+    def take(self):
+        if self.next >= self.limit:
+            raise BackendError("expression too deep for the frame's temp slots")
+        slot = self.next
+        self.next += 1
+        return slot

@@ -1,0 +1,175 @@
+"""The intermediate code the self-retargeting compiler's front end emits.
+
+Statement-level ops mirror the paper's examples (``BranchEQ(a, b, L) =
+IF a = b GOTO L``); expressions are small trees over locals and
+constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+BINARY_OPS = ("Plus", "Minus", "Mult", "Div", "Mod", "And", "Or", "Xor", "Shl", "Shr")
+UNARY_OPS = ("Neg", "Not")
+RELATIONS = {
+    "BranchLT": "isLT",
+    "BranchLE": "isLE",
+    "BranchGT": "isGT",
+    "BranchGE": "isGE",
+    "BranchEQ": "isEQ",
+    "BranchNE": "isNE",
+}
+
+
+# -- expressions ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+
+
+@dataclass(frozen=True)
+class Local:
+    """A local variable, identified by its frame slot index."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # one of BINARY_OPS
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class UnOp:
+    op: str  # one of UNARY_OPS
+    operand: object
+
+
+# -- statements ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: Local
+    value: object
+
+
+@dataclass(frozen=True)
+class Branch:
+    """Conditional jump: ``IF left REL right GOTO label``."""
+
+    op: str  # one of RELATIONS keys
+    left: object
+    right: object
+    label: str
+
+
+@dataclass(frozen=True)
+class Jump:
+    label: str
+
+
+@dataclass(frozen=True)
+class Label:
+    name: str
+
+
+@dataclass(frozen=True)
+class Print:
+    """Print an integer expression followed by a newline."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Exit:
+    pass
+
+
+@dataclass
+class IRProgram:
+    stmts: list = field(default_factory=list)
+    #: number of local slots used
+    locals_used: int = 0
+
+    def render(self):
+        out = []
+        for stmt in self.stmts:
+            out.append(f"  {stmt}")
+        return "\n".join(out)
+
+
+def eval_program(program, bits=32, fuel=1_000_000):
+    """Reference interpreter for IR programs (word-exact at *bits*) --
+    the oracle the generated back ends are validated against."""
+    from repro import wordops
+
+    env = {}
+    labels = {
+        stmt.name: i for i, stmt in enumerate(program.stmts) if isinstance(stmt, Label)
+    }
+    output = []
+    pc = 0
+    steps = 0
+
+    def value(expr):
+        if isinstance(expr, Const):
+            return wordops.to_signed(expr.value, bits)
+        if isinstance(expr, Local):
+            return env.get(expr.index, 0)
+        if isinstance(expr, BinOp):
+            lv, rv = value(expr.left), value(expr.right)
+            ops = {
+                "Plus": lambda: wordops.add(lv, rv, bits),
+                "Minus": lambda: wordops.sub(lv, rv, bits),
+                "Mult": lambda: wordops.mul(lv, rv, bits),
+                "Div": lambda: wordops.sdiv(lv, rv, bits),
+                "Mod": lambda: wordops.smod(lv, rv, bits),
+                "And": lambda: lv & rv,
+                "Or": lambda: lv | rv,
+                "Xor": lambda: lv ^ rv,
+                "Shl": lambda: wordops.shl(lv, rv, bits),
+                "Shr": lambda: wordops.shr_arith(lv, rv, bits),
+            }
+            return wordops.to_signed(ops[expr.op](), bits)
+        if isinstance(expr, UnOp):
+            v = value(expr.operand)
+            result = wordops.neg(v, bits) if expr.op == "Neg" else wordops.bit_not(v, bits)
+            return wordops.to_signed(result, bits)
+        raise TypeError(f"bad IR expression {expr!r}")
+
+    rel = {
+        "BranchLT": lambda a, b: a < b,
+        "BranchLE": lambda a, b: a <= b,
+        "BranchGT": lambda a, b: a > b,
+        "BranchGE": lambda a, b: a >= b,
+        "BranchEQ": lambda a, b: a == b,
+        "BranchNE": lambda a, b: a != b,
+    }
+
+    while pc < len(program.stmts):
+        steps += 1
+        if steps > fuel:
+            raise RuntimeError("IR evaluation ran out of fuel")
+        stmt = program.stmts[pc]
+        pc += 1
+        if isinstance(stmt, Assign):
+            env[stmt.target.index] = value(stmt.value)
+        elif isinstance(stmt, Branch):
+            if rel[stmt.op](value(stmt.left), value(stmt.right)):
+                pc = labels[stmt.label]
+        elif isinstance(stmt, Jump):
+            pc = labels[stmt.label]
+        elif isinstance(stmt, Label):
+            pass
+        elif isinstance(stmt, Print):
+            output.append(f"{value(stmt.value)}\n")
+        elif isinstance(stmt, Exit):
+            break
+        else:
+            raise TypeError(f"bad IR statement {stmt!r}")
+    return "".join(output)

@@ -1,0 +1,18 @@
+"""A miniature ANSI-C compiler -- the "native C compiler" of each target.
+
+The discovery unit probes the target's C compiler exactly as the paper
+does; this package provides that compiler.  The supported subset covers
+everything the paper's sample generator emits (paper section 3 and
+Figure 3): ``int``/``char``/pointers, globals and ``extern``, separate
+compilation with ``#include``, functions and calls (including implicit
+declarations of ``printf``/``exit``), ``if``/``else``/``while``,
+``goto``/labels, the full integer expression operators, ``sizeof``,
+casts, and string literals.
+
+One code generator per target reproduces the per-architecture
+idiosyncrasies the paper's Preprocessor exists to untangle (Figure 4).
+"""
+
+from repro.cc.compiler import CCompiler, compiler_for
+
+__all__ = ["CCompiler", "compiler_for"]

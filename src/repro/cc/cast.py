@@ -1,0 +1,186 @@
+"""AST node definitions for the C subset ("cast" = C AST)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- types -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CType:
+    """``int``, ``char``, ``void``, or a pointer chain over one of them."""
+
+    base: str  # "int" | "char" | "void"
+    pointers: int = 0
+
+    @property
+    def is_pointer(self):
+        return self.pointers > 0
+
+    def pointee(self):
+        if not self.is_pointer:
+            raise ValueError(f"not a pointer type: {self}")
+        return CType(self.base, self.pointers - 1)
+
+    def pointer_to(self):
+        return CType(self.base, self.pointers + 1)
+
+    def __str__(self):
+        return self.base + "*" * self.pointers
+
+
+INT = CType("int")
+CHAR = CType("char")
+VOID = CType("void")
+
+
+# -- expressions -------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+    ctype: CType = None  # filled in by sema
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+    symbol: object = None  # bound by sema
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # "-" | "~" | "*" | "&"
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    target: Expr = None  # Ident or Unary("*")
+    value: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class Cast(Expr):
+    to_type: CType = None
+    operand: Expr = None
+
+
+@dataclass
+class SizeofType(Expr):
+    of_type: CType = None
+
+
+# -- statements --------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decls: list = field(default_factory=list)  # list of (CType, name, init Expr|None)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    otherwise: Stmt = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class Goto(Stmt):
+    label: str = ""
+
+
+@dataclass
+class LabelStmt(Stmt):
+    label: str = ""
+    stmt: Stmt = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr = None
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list = field(default_factory=list)
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+# -- top level ---------------------------------------------------------
+
+
+@dataclass
+class Param:
+    ctype: CType
+    name: str
+
+
+@dataclass
+class FuncDef:
+    name: str
+    return_type: CType
+    params: list
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    ctype: CType
+    name: str
+    init: object = None  # int or None
+    extern: bool = False
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    decls: list = field(default_factory=list)  # GlobalDecl | FuncDef

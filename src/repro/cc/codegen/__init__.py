@@ -1,0 +1,1 @@
+"""Per-target code generators for the miniature C compiler."""

@@ -1,0 +1,206 @@
+"""Alpha code generator.
+
+Reproduces the paper's Alpha idioms: ``ldq``/``stq`` against
+``disp($sp)`` slots, ``ldiq``/``ldil`` literal loads, moves spelled
+``addl r, 0, r'`` and a *redundant* canonicalisation ``addl r, 0, r``
+after shifts -- the superfluous instruction of Figure 4(d) that
+redundant-instruction elimination (Figure 6) removes -- and
+two-instruction compare-then-branch (``cmpeq`` + ``bne``), the
+Synthesizer's Combiner case.
+"""
+
+from __future__ import annotations
+
+from repro.cc.codegen.base import CodeGen
+from repro.cc.sema import SizeModel
+from repro.errors import CompilerError
+
+_ARITH = {
+    "+": "addl",
+    "-": "subl",
+    "*": "mull",
+    "/": "divl",
+    "%": "reml",
+    "&": "and",
+    "|": "bis",
+    "^": "xor",
+    "<<": "sll",
+    ">>": "sra",
+}
+_SHIFTS = ("<<", ">>")
+# compare mnemonic, operand swap, branch-when-false mnemonic
+_COMPARE = {
+    "<": ("cmplt", False, "beq"),
+    "<=": ("cmple", False, "beq"),
+    ">": ("cmplt", True, "beq"),
+    ">=": ("cmple", True, "beq"),
+    "==": ("cmpeq", False, "beq"),
+    "!=": ("cmpeq", False, "bne"),
+}
+
+
+class AlphaCodeGen(CodeGen):
+    name = "alpha"
+    comment = "#"
+    reg_pool = ("$1", "$2", "$3", "$4", "$5", "$6", "$7", "$8")
+    word_directive = ".quad"
+    word_align = 8
+    sizes = SizeModel(int_size=8, char_size=1, pointer_size=8)
+
+    # -- frame ----------------------------------------------------------
+
+    def assign_frame(self, finfo):
+        slots = len(finfo.params) + len(finfo.locals) + self.TEMP_SLOTS
+        frame = 16 + 8 * slots
+        self._frame_size = frame
+        offset = frame - 16
+        for sym in finfo.params + finfo.locals:
+            sym.storage = offset
+            offset -= 8
+        self._temp_base = offset
+
+    def emit_prologue(self, finfo):
+        self.emit(f"lda $30, -{self._frame_size}($30)")
+        self.emit(f"stq $26, {self._frame_size - 8}($30)")
+        if len(finfo.params) > 6:
+            raise CompilerError("more than 6 parameters are unsupported")
+        for i, sym in enumerate(finfo.params):
+            self.emit(f"stq ${16 + i}, {sym.storage}($30)")
+
+    def emit_epilogue(self, finfo):
+        self.emit(f"ldq $26, {self._frame_size - 8}($30)")
+        self.emit(f"lda $30, {self._frame_size}($30)")
+        self.emit("ret")
+
+    def _slot(self, sym):
+        if sym.kind == "global":
+            return sym.name
+        return f"{sym.storage}($30)"
+
+    def _temp_slot(self, slot):
+        return f"{self._temp_base - 8 * slot}($30)"
+
+    # -- loads/stores -----------------------------------------------------
+
+    def emit_load_imm(self, value):
+        reg = self.alloc_reg()
+        if 0 <= value <= 32767:
+            self.emit(f"ldil {reg}, {value}")
+        else:
+            self.emit(f"ldiq {reg}, {value}")
+        return reg
+
+    def emit_load_sym(self, sym):
+        reg = self.alloc_reg()
+        self.emit(f"ldq {reg}, {self._slot(sym)}")
+        return reg
+
+    def emit_store_sym(self, sym, reg):
+        self.emit(f"stq {reg}, {self._slot(sym)}")
+
+    def emit_load_label_addr(self, label):
+        reg = self.alloc_reg()
+        self.emit(f"lda {reg}, {label}")
+        return reg
+
+    def emit_load_frame_addr(self, sym):
+        reg = self.alloc_reg()
+        self.emit(f"lda {reg}, {sym.storage}($30)")
+        return reg
+
+    def emit_load_indirect(self, addr_reg, size):
+        mnemonic = "ldbu" if size == 1 else "ldq"
+        self.emit(f"{mnemonic} {addr_reg}, 0({addr_reg})")
+        return addr_reg
+
+    def emit_store_indirect(self, addr_reg, value_reg, size):
+        if size != 8:
+            raise CompilerError("only word-sized indirect stores are supported")
+        self.emit(f"stq {value_reg}, 0({addr_reg})")
+
+    def emit_store_temp(self, slot, reg):
+        self.emit(f"stq {reg}, {self._temp_slot(slot)}")
+
+    def emit_load_temp(self, slot):
+        reg = self.alloc_reg()
+        self.emit(f"ldq {reg}, {self._temp_slot(slot)}")
+        return reg
+
+    # -- arithmetic -------------------------------------------------------
+
+    def emit_binop(self, op, left_reg, right_node):
+        imm = self.as_imm(right_node)
+        if imm is not None and 0 <= imm <= 255:
+            result = self.alloc_reg()
+            self.emit(f"{_ARITH[op]} {left_reg}, {imm}, {result}")
+            self.free_reg(left_reg)
+            self._canonicalise_shift(op, result)
+            return result
+        if imm is not None:
+            right = self.emit_load_imm(imm)
+        else:
+            right = self.gen_expr(right_node)
+        return self.emit_binop_rr(op, left_reg, right)
+
+    def emit_binop_rr(self, op, left_reg, right_reg):
+        result = self.alloc_reg()
+        self.emit(f"{_ARITH[op]} {left_reg}, {right_reg}, {result}")
+        self.free_reg(left_reg)
+        self.free_reg(right_reg)
+        self._canonicalise_shift(op, result)
+        return result
+
+    def _canonicalise_shift(self, op, reg):
+        """The paper's Alpha compiler emitted a redundant ``addl r, 0, r``
+        after shifts (Figure 4d); reproduce it for the Preprocessor."""
+        if op in _SHIFTS:
+            self.emit(f"addl {reg}, 0, {reg}")
+
+    def emit_unop(self, op, reg):
+        result = self.alloc_reg()
+        if op == "-":
+            self.emit(f"negl {reg}, {result}")
+        else:
+            self.emit(f"ornot $31, {reg}, {result}")
+        self.free_reg(reg)
+        return result
+
+    # -- calls ------------------------------------------------------------
+
+    def emit_call(self, name, args, want_result=True):
+        if len(args) > 6:
+            raise CompilerError("more than 6 call arguments are unsupported")
+        regs = self.eval_args(args)
+        for i, reg in enumerate(regs):
+            self.emit(f"addl {reg}, 0, ${16 + i}")
+            self.free_reg(reg)
+        self.emit(f"jsr $26, {name}")
+        if not want_result:
+            return None
+        dst = self.alloc_reg()
+        self.emit(f"addl $0, 0, {dst}")
+        return dst
+
+    def emit_set_retval(self, reg):
+        self.emit(f"addl {reg}, 0, $0")
+
+    # -- control flow -------------------------------------------------------
+
+    def emit_jump(self, label):
+        self.emit(f"br {label}")
+
+    def emit_cmp_branch(self, op, left_node, right_node, label):
+        mnemonic, swap, branch = _COMPARE[op]
+        left = self.gen_expr(left_node)
+        right = self.gen_expr(right_node)
+        if swap:
+            left, right = right, left
+        flag = self.alloc_reg()
+        self.emit(f"{mnemonic} {left}, {right}, {flag}")
+        self.free_reg(left)
+        self.free_reg(right)
+        self.emit(f"{branch} {flag}, {label}")
+        self.free_reg(flag)
+
+    def emit_branch_if_zero(self, reg, label):
+        self.emit(f"beq {reg}, {label}")

@@ -1,0 +1,422 @@
+"""Target-independent skeleton of the miniature C compiler's back end.
+
+A :class:`CodeGen` subclass supplies the target-specific emitters
+(loads, stores, arithmetic, compare-and-branch, calls, frame layout);
+this base class drives parsing, semantic analysis, statement lowering,
+expression evaluation order, register-pool management, string pooling,
+and call-hoisting (values are never held in pool registers across a
+call).
+"""
+
+from __future__ import annotations
+
+from repro.cc import cast
+from repro.cc.parser import parse
+from repro.cc.sema import SizeModel, analyze, contains_call, is_comparison
+from repro.errors import CompilerError
+
+
+class CodeGen:
+    """Base class; see the target modules for concrete subclasses."""
+
+    #: target name, matching the machines registry
+    name = None
+    #: assembly comment character
+    comment = "#"
+    #: registers usable for expression evaluation, preferred first
+    reg_pool = ()
+    #: directive for an int-sized initialised data word
+    word_directive = ".long"
+    #: data alignment for ints
+    word_align = 4
+    sizes = SizeModel()
+
+    #: compiler temp slots reserved in every frame (for call hoisting)
+    TEMP_SLOTS = 4
+
+    def __init__(self):
+        self._reset_unit()
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def _reset_unit(self):
+        self.text_lines = []
+        self.data_lines = []
+        self._string_labels = {}
+        self._label_counter = 0
+        self.fn = None
+        self.free_regs = []
+        self._return_label = None
+        self.user_labels = {}
+
+    def compile(self, source, headers=None):
+        """Compile one translation unit to assembly text (``cc -S``)."""
+        self._reset_unit()
+        unit = parse(source, headers)
+        self.info = analyze(unit, self.sizes)
+        for decl in unit.decls:
+            if isinstance(decl, cast.GlobalDecl) and not decl.extern:
+                self._emit_global(decl)
+        for decl in unit.decls:
+            if isinstance(decl, cast.FuncDef):
+                self.gen_function(self.info.functions[decl.name])
+        out = []
+        if self.data_lines:
+            out.append(".data")
+            out.extend(self.data_lines)
+        out.append(".text")
+        out.extend(self.text_lines)
+        return "\n".join(out) + "\n"
+
+    def _emit_global(self, decl):
+        self.data_lines.append(f".globl {decl.name}")
+        self.data_lines.append(f".align {self.word_align}")
+        init = decl.init if decl.init is not None else 0
+        self.data_lines.append(f"{decl.name}: {self.word_directive} {init}")
+
+    def string_label(self, value):
+        if value not in self._string_labels:
+            label = f"Lstr{len(self._string_labels)}"
+            self._string_labels[value] = label
+            escaped = (
+                value.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+                .replace("\t", "\\t")
+                .replace("\0", "\\0")
+            )
+            self.data_lines.append(f'{label}: .asciz "{escaped}"')
+        return self._string_labels[value]
+
+    def new_label(self):
+        self._label_counter += 1
+        return f"L{self._label_counter}"
+
+    def emit(self, line):
+        self.text_lines.append(f"\t{line}")
+
+    def emit_label(self, label):
+        self.text_lines.append(f"{label}:")
+
+    # ------------------------------------------------------------------
+    # Register pool
+    # ------------------------------------------------------------------
+
+    def alloc_reg(self, exclude=()):
+        for reg in self.free_regs:
+            if reg not in exclude:
+                self.free_regs.remove(reg)
+                return reg
+        raise CompilerError("expression too complex (out of registers)")
+
+    def free_reg(self, reg):
+        if reg in self.reg_pool and reg not in self.free_regs:
+            self.free_regs.append(reg)
+            self.free_regs.sort(key=self.reg_pool.index)
+
+    def take_reg(self, reg):
+        """Claim a specific register, which must be free."""
+        if reg not in self.free_regs:
+            raise CompilerError(f"register {reg} not free")
+        self.free_regs.remove(reg)
+        return reg
+
+    def reg_is_free(self, reg):
+        return reg in self.free_regs
+
+    # ------------------------------------------------------------------
+    # Functions and statements
+    # ------------------------------------------------------------------
+
+    def gen_function(self, finfo):
+        self.fn = finfo
+        self.free_regs = list(self.reg_pool)
+        self.user_labels = {name: self.new_label() for name in sorted(finfo.labels)}
+        self._return_label = self.new_label()
+        self._temp_in_use = [False] * self.TEMP_SLOTS
+        self.assign_frame(finfo)
+        self.text_lines.append(f".globl {finfo.func.name}")
+        self.emit_label(finfo.func.name)
+        self.emit_prologue(finfo)
+        self.gen_stmt(finfo.func.body)
+        self.emit_label(self._return_label)
+        self.emit_epilogue(finfo)
+        self.fn = None
+
+    def gen_stmt(self, node):
+        if isinstance(node, cast.Block):
+            for child in node.stmts:
+                self.gen_stmt(child)
+        elif isinstance(node, cast.EmptyStmt):
+            pass
+        elif isinstance(node, cast.DeclStmt):
+            for _ctype, name, init in node.decls:
+                if init is not None:
+                    sym = self.fn.symbols[name]
+                    reg = self.gen_expr(init)
+                    self.emit_store_sym(sym, reg)
+                    self.free_reg(reg)
+        elif isinstance(node, cast.ExprStmt):
+            result = self.gen_expr(node.expr, for_value=False)
+            if result is not None:
+                self.free_reg(result)
+        elif isinstance(node, cast.If):
+            if node.otherwise is None:
+                end = self.new_label()
+                self.branch_false(node.cond, end)
+                self.gen_stmt(node.then)
+                self.emit_label(end)
+            else:
+                other = self.new_label()
+                end = self.new_label()
+                self.branch_false(node.cond, other)
+                self.gen_stmt(node.then)
+                self.emit_jump(end)
+                self.emit_label(other)
+                self.gen_stmt(node.otherwise)
+                self.emit_label(end)
+        elif isinstance(node, cast.While):
+            top = self.new_label()
+            end = self.new_label()
+            self.emit_label(top)
+            self.branch_false(node.cond, end)
+            self.gen_stmt(node.body)
+            self.emit_jump(top)
+            self.emit_label(end)
+        elif isinstance(node, cast.Goto):
+            self.emit_jump(self.user_labels[node.label])
+        elif isinstance(node, cast.LabelStmt):
+            self.emit_label(self.user_labels[node.label])
+            self.gen_stmt(node.stmt)
+        elif isinstance(node, cast.Return):
+            if node.value is not None:
+                reg = self.gen_expr(node.value)
+                self.emit_set_retval(reg)
+                self.free_reg(reg)
+            self.emit_jump(self._return_label)
+        else:
+            raise CompilerError(f"cannot generate {type(node).__name__}")
+
+    def branch_false(self, cond, label):
+        """Branch to *label* when *cond* is false."""
+        if is_comparison(cond):
+            self.emit_cmp_branch(cond.op, cond.left, cond.right, label)
+        else:
+            reg = self.gen_expr(cond)
+            self.emit_branch_if_zero(reg, label)
+            self.free_reg(reg)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def gen_expr(self, node, for_value=True):
+        """Generate code for *node*; returns the register holding its
+        value (or ``None`` for a void call in statement position)."""
+        if isinstance(node, cast.IntLit):
+            return self.emit_load_imm(node.value)
+        if isinstance(node, cast.StrLit):
+            return self.emit_load_label_addr(self.string_label(node.value))
+        if isinstance(node, cast.SizeofType):
+            return self.emit_load_imm(node.value)
+        if isinstance(node, cast.Ident):
+            return self.emit_load_sym(node.symbol)
+        if isinstance(node, cast.Assign):
+            return self._gen_assign(node, for_value)
+        if isinstance(node, cast.Unary):
+            return self._gen_unary(node)
+        if isinstance(node, cast.Binary):
+            return self._gen_binary(node)
+        if isinstance(node, cast.Call):
+            return self.emit_call(node.name, node.args, want_result=for_value)
+        if isinstance(node, cast.Cast):
+            return self.gen_expr(node.operand)
+        raise CompilerError(f"cannot generate expression {type(node).__name__}")
+
+    def _gen_assign(self, node, for_value):
+        reg = self.gen_expr(node.value)
+        if isinstance(node.target, cast.Ident):
+            self.emit_store_sym(node.target.symbol, reg)
+        elif isinstance(node.target, cast.Unary) and node.target.op == "*":
+            size = self.sizes.sizeof(node.target.ctype)
+            addr = self.gen_expr(node.target.operand)
+            self.emit_store_indirect(addr, reg, size)
+            self.free_reg(addr)
+        else:
+            raise CompilerError("bad assignment target")
+        if for_value:
+            return reg
+        self.free_reg(reg)
+        return None
+
+    def _gen_unary(self, node):
+        if node.op == "*":
+            addr = self.gen_expr(node.operand)
+            size = self.sizes.sizeof(node.ctype)
+            return self.emit_load_indirect(addr, size)
+        if node.op == "&":
+            return self.gen_addr(node.operand)
+        if node.op in ("-", "~"):
+            reg = self.gen_expr(node.operand)
+            return self.emit_unop(node.op, reg)
+        raise CompilerError(f"unsupported unary {node.op!r}")
+
+    def gen_addr(self, node):
+        """Generate the address of an lvalue into a register."""
+        if isinstance(node, cast.Ident):
+            sym = node.symbol
+            if sym.kind == "global":
+                return self.emit_load_label_addr(sym.name)
+            return self.emit_load_frame_addr(sym)
+        if isinstance(node, cast.Unary) and node.op == "*":
+            return self.gen_expr(node.operand)
+        raise CompilerError("cannot take address of this expression")
+
+    def _gen_binary(self, node):
+        if node.op in ("<", "<=", ">", ">=", "==", "!="):
+            raise CompilerError(
+                "comparisons are only supported as branch conditions", node.line
+            )
+        if self._right_needs_spill(node.right):
+            # Pool registers do not survive calls: spill the left value.
+            left = self.gen_expr(node.left)
+            slot = self._alloc_temp()
+            self.emit_store_temp(slot, left)
+            self.free_reg(left)
+            right = self.gen_expr(node.right)
+            left = self.emit_load_temp(slot)
+            self._free_temp(slot)
+            return self.emit_binop_rr(node.op, left, right)
+        left = self.gen_expr(node.left)
+        return self.emit_binop(node.op, left, node.right)
+
+    def _right_needs_spill(self, node):
+        """Must the left value leave the register file while the right
+        operand is evaluated?  Targets with dedicated-register operations
+        (the x86 divide) extend this beyond calls."""
+        return contains_call(node)
+
+    def eval_args(self, args):
+        """Evaluate call arguments left to right into registers, spilling
+        values that would otherwise be live across a nested call."""
+        staged = []
+        for i, arg in enumerate(args):
+            reg = self.gen_expr(arg)
+            if any(contains_call(a) for a in args[i + 1:]):
+                slot = self._alloc_temp()
+                self.emit_store_temp(slot, reg)
+                self.free_reg(reg)
+                staged.append(("temp", slot))
+            else:
+                staged.append(("reg", reg))
+        regs = []
+        for kind, value in staged:
+            if kind == "temp":
+                reg = self.emit_load_temp(value)
+                self._free_temp(value)
+                regs.append(reg)
+            else:
+                regs.append(value)
+        return regs
+
+    def _alloc_temp(self):
+        for i, used in enumerate(self._temp_in_use):
+            if not used:
+                self._temp_in_use[i] = True
+                return i
+        raise CompilerError("expression too complex (out of temp slots)")
+
+    def _free_temp(self, slot):
+        self._temp_in_use[slot] = False
+
+    # -- simple-operand helper (immediates and plain int variables) ----
+
+    def as_imm(self, node):
+        """Return the constant value of *node*, or ``None``."""
+        if isinstance(node, cast.IntLit):
+            return node.value
+        if isinstance(node, cast.SizeofType):
+            return node.value
+        return None
+
+    def as_plain_var(self, node):
+        """Return the symbol of a plain word-sized variable, or ``None``."""
+        if isinstance(node, cast.Ident):
+            sym = node.symbol
+            size = self.sizes.sizeof(sym.ctype)
+            if size == self.sizes.int_size or sym.ctype.is_pointer:
+                return sym
+        return None
+
+    # ------------------------------------------------------------------
+    # Target hooks
+    # ------------------------------------------------------------------
+
+    def assign_frame(self, finfo):
+        raise NotImplementedError
+
+    def emit_prologue(self, finfo):
+        raise NotImplementedError
+
+    def emit_epilogue(self, finfo):
+        raise NotImplementedError
+
+    def emit_load_imm(self, value):
+        raise NotImplementedError
+
+    def emit_load_sym(self, sym):
+        raise NotImplementedError
+
+    def emit_store_sym(self, sym, reg):
+        raise NotImplementedError
+
+    def emit_load_label_addr(self, label):
+        raise NotImplementedError
+
+    def emit_load_frame_addr(self, sym):
+        raise NotImplementedError
+
+    def emit_load_indirect(self, addr_reg, size):
+        raise NotImplementedError
+
+    def emit_store_indirect(self, addr_reg, value_reg, size):
+        raise NotImplementedError
+
+    def emit_unop(self, op, reg):
+        raise NotImplementedError
+
+    def emit_binop(self, op, left_reg, right_node):
+        """left OP right where the right side is still an AST node, so
+        targets may use immediates or memory operands directly."""
+        raise NotImplementedError
+
+    def emit_binop_rr(self, op, left_reg, right_reg):
+        raise NotImplementedError
+
+    def emit_store_temp(self, slot, reg):
+        raise NotImplementedError
+
+    def emit_load_temp(self, slot):
+        raise NotImplementedError
+
+    def emit_call(self, name, args, want_result=True):
+        raise NotImplementedError
+
+    def emit_set_retval(self, reg):
+        raise NotImplementedError
+
+    def emit_jump(self, label):
+        raise NotImplementedError
+
+    def emit_cmp_branch(self, op, left_node, right_node, label):
+        """Branch to *label* when ``left OP right`` is FALSE."""
+        raise NotImplementedError
+
+    def emit_branch_if_zero(self, reg, label):
+        raise NotImplementedError
+
+
+#: comparison operator -> its negation (branch when false)
+NEGATED = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}

@@ -1,0 +1,247 @@
+"""m68k code generator.
+
+Two-address Motorola-style code: accumulator-ish data registers,
+``link``/``unlk`` frames, arguments pushed right-to-left with an
+explicit ``sub.l #4, sp`` / ``move.l dN, (sp)`` pair, results in ``d0``.
+There is no remainder instruction (``%`` expands to divide/multiply/
+subtract) and shift immediates only reach 8, so larger constant shifts
+are emitted as a chain.
+"""
+
+from __future__ import annotations
+
+from repro.cc import cast
+from repro.cc.codegen.base import NEGATED, CodeGen
+from repro.cc.sema import SizeModel
+from repro.errors import CompilerError
+
+_ARITH = {
+    "+": "add.l",
+    "-": "sub.l",
+    "*": "muls.l",
+    "/": "divs.l",
+    "&": "and.l",
+    "|": "or.l",
+    "^": "eor.l",
+}
+_SHIFT = {"<<": "lsl.l", ">>": "asr.l"}
+_BCC = {"<": "blt", "<=": "ble", ">": "bgt", ">=": "bge", "==": "beq", "!=": "bne"}
+
+
+class M68kCodeGen(CodeGen):
+    name = "m68k"
+    comment = "|"
+    reg_pool = ("d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7")
+    word_directive = ".long"
+    word_align = 4
+    sizes = SizeModel(int_size=4, char_size=1, pointer_size=4)
+
+    # -- frame ----------------------------------------------------------
+
+    def assign_frame(self, finfo):
+        offset = 8
+        for sym in finfo.params:
+            sym.storage = offset
+            offset += 4
+        offset = 0
+        for sym in finfo.locals:
+            offset -= 4
+            sym.storage = offset
+        self._temp_base = offset
+        self._frame_size = -offset + 4 * self.TEMP_SLOTS
+
+    def emit_prologue(self, finfo):
+        self.emit(f"link fp, #-{self._frame_size}")
+
+    def emit_epilogue(self, finfo):
+        self.emit("unlk fp")
+        self.emit("rts")
+
+    def _slot(self, sym):
+        if sym.kind == "global":
+            return sym.name
+        return f"{sym.storage}(fp)"
+
+    def _temp_slot(self, slot):
+        return f"{self._temp_base - 4 * (slot + 1)}(fp)"
+
+    # -- loads/stores -----------------------------------------------------
+
+    def emit_load_imm(self, value):
+        reg = self.alloc_reg()
+        self.emit(f"move.l #{value}, {reg}")
+        return reg
+
+    def emit_load_sym(self, sym):
+        reg = self.alloc_reg()
+        self.emit(f"move.l {self._slot(sym)}, {reg}")
+        return reg
+
+    def emit_store_sym(self, sym, reg):
+        self.emit(f"move.l {reg}, {self._slot(sym)}")
+
+    def emit_load_label_addr(self, label):
+        reg = self.alloc_reg()
+        self.emit(f"move.l #{label}, {reg}")
+        return reg
+
+    def emit_load_frame_addr(self, sym):
+        reg = self.alloc_reg()
+        self.emit("move.l fp, " + reg)
+        self.emit(f"add.l #{sym.storage}, {reg}")
+        return reg
+
+    def emit_load_indirect(self, addr_reg, size):
+        if size == 1:
+            dst = self.alloc_reg()
+            self.emit(f"clr.l {dst}")
+            self.emit(f"move.b ({addr_reg}), {dst}")
+            self.free_reg(addr_reg)
+            return dst
+        self.emit(f"move.l ({addr_reg}), {addr_reg}")
+        return addr_reg
+
+    def emit_store_indirect(self, addr_reg, value_reg, size):
+        if size != 4:
+            raise CompilerError("only word-sized indirect stores are supported")
+        self.emit(f"move.l {value_reg}, ({addr_reg})")
+
+    def emit_store_temp(self, slot, reg):
+        self.emit(f"move.l {reg}, {self._temp_slot(slot)}")
+
+    def emit_load_temp(self, slot):
+        reg = self.alloc_reg()
+        self.emit(f"move.l {self._temp_slot(slot)}, {reg}")
+        return reg
+
+    # -- arithmetic -------------------------------------------------------
+
+    def _src_operand(self, node):
+        imm = self.as_imm(node)
+        if imm is not None:
+            return f"#{imm}"
+        sym = self.as_plain_var(node)
+        if sym is not None:
+            return self._slot(sym)
+        if isinstance(node, cast.StrLit):
+            return f"#{self.string_label(node.value)}"
+        return None
+
+    def _gen_binary(self, node):
+        if node.op == "%":
+            return self._gen_mod(node)
+        if node.op in ("<<", ">>"):
+            return self._gen_shift(node)
+        return super()._gen_binary(node)
+
+    def emit_binop(self, op, left_reg, right_node):
+        mnemonic = _ARITH[op]
+        src = self._src_operand(right_node)
+        if src is None:
+            right = self.gen_expr(right_node)
+            self.emit(f"{mnemonic} {right}, {left_reg}")
+            self.free_reg(right)
+        else:
+            self.emit(f"{mnemonic} {src}, {left_reg}")
+        return left_reg
+
+    def emit_binop_rr(self, op, left_reg, right_reg):
+        if op in _ARITH:
+            self.emit(f"{_ARITH[op]} {right_reg}, {left_reg}")
+            self.free_reg(right_reg)
+            return left_reg
+        if op in _SHIFT:
+            self.emit(f"{_SHIFT[op]} {right_reg}, {left_reg}")
+            self.free_reg(right_reg)
+            return left_reg
+        raise CompilerError(f"unsupported operator {op!r} after spilling")
+
+    def _gen_shift(self, node):
+        left = self.gen_expr(node.left)
+        imm = self.as_imm(node.right)
+        mnemonic = _SHIFT[node.op]
+        if imm is not None and imm >= 0:
+            remaining = imm % 32
+            if remaining == 0:
+                return left
+            while remaining > 0:  # shift immediates reach only 8
+                step = min(remaining, 8)
+                self.emit(f"{mnemonic} #{step}, {left}")
+                remaining -= step
+            return left
+        right = self.gen_expr(node.right)
+        self.emit(f"{mnemonic} {right}, {left}")
+        self.free_reg(right)
+        return left
+
+    def _gen_mod(self, node):
+        # No remainder instruction: a - (a / b) * b.
+        left = self.gen_expr(node.left)
+        src = self._src_operand(node.right)
+        right = None
+        if src is None:
+            right = self.gen_expr(node.right)
+            src = right
+        quot = self.alloc_reg()
+        self.emit(f"move.l {left}, {quot}")
+        self.emit(f"divs.l {src}, {quot}")
+        self.emit(f"muls.l {src}, {quot}")
+        self.emit(f"sub.l {quot}, {left}")
+        self.free_reg(quot)
+        if right is not None:
+            self.free_reg(right)
+        return left
+
+    def emit_unop(self, op, reg):
+        self.emit(f"{'neg.l' if op == '-' else 'not.l'} {reg}")
+        return reg
+
+    # -- calls ------------------------------------------------------------
+
+    def emit_call(self, name, args, want_result=True):
+        for arg in reversed(args):
+            src = self._src_operand(arg)
+            if src is None or not src.startswith("#"):
+                reg = self.gen_expr(arg)
+                src = reg
+            else:
+                reg = None
+            self.emit("sub.l #4, sp")
+            self.emit(f"move.l {src}, (sp)")
+            if reg is not None:
+                self.free_reg(reg)
+        self.emit(f"jsr {name}")
+        if args:
+            self.emit(f"add.l #{4 * len(args)}, sp")
+        if not want_result:
+            return None
+        dst = self.alloc_reg(exclude=("d0",))
+        self.emit(f"move.l d0, {dst}")
+        return dst
+
+    def emit_set_retval(self, reg):
+        if reg != "d0":
+            self.emit(f"move.l {reg}, d0")
+
+    # -- control flow -------------------------------------------------------
+
+    def emit_jump(self, label):
+        self.emit(f"bra {label}")
+
+    def emit_cmp_branch(self, op, left_node, right_node, label):
+        left = self.gen_expr(left_node)
+        src = self._src_operand(right_node)
+        right = None
+        if src is None:
+            right = self.gen_expr(right_node)
+            src = right
+        self.emit(f"cmp.l {src}, {left}")
+        self.free_reg(left)
+        if right is not None:
+            self.free_reg(right)
+        self.emit(f"{_BCC[NEGATED[op]]} {label}")
+
+    def emit_branch_if_zero(self, reg, label):
+        self.emit(f"tst.l {reg}")
+        self.free_reg(reg)
+        self.emit(f"beq {label}")

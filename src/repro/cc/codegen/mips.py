@@ -1,0 +1,186 @@
+"""MIPS code generator.
+
+Produces the shapes of paper Figures 2 and 10(a): ``lw``/``sw`` against
+``disp($sp)`` slots and three-operand arithmetic allocating a fresh
+destination register (``mul $11, $9, $10``).  Compare-and-branch is one
+instruction, the paper's example of a direct ``BranchEQ`` mapping.
+"""
+
+from __future__ import annotations
+
+from repro.cc.codegen.base import CodeGen
+from repro.cc.sema import SizeModel
+from repro.errors import CompilerError
+
+_ARITH = {
+    "+": "addu",
+    "-": "subu",
+    "*": "mul",
+    "/": "div",
+    "%": "rem",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "sll",
+    ">>": "sra",
+}
+_IMM_OPS = {"+": "addiu", "&": "andi", "|": "ori", "^": "xori"}
+_SHIFT_OPS = ("<<", ">>")
+_BFALSE = {"<": "bge", "<=": "bgt", ">": "ble", ">=": "blt", "==": "bne", "!=": "beq"}
+
+
+class MipsCodeGen(CodeGen):
+    name = "mips"
+    comment = "#"
+    reg_pool = ("$9", "$10", "$11", "$12", "$13", "$14", "$15", "$8")
+    word_directive = ".long"
+    word_align = 4
+    sizes = SizeModel(int_size=4, char_size=1, pointer_size=4)
+
+    # -- frame ----------------------------------------------------------
+
+    def assign_frame(self, finfo):
+        slots = len(finfo.params) + len(finfo.locals) + self.TEMP_SLOTS
+        frame = 8 + 4 * slots
+        frame = (frame + 7) // 8 * 8
+        self._frame_size = frame
+        offset = frame - 8
+        for sym in finfo.params + finfo.locals:
+            sym.storage = offset
+            offset -= 4
+        self._temp_base = offset
+
+    def emit_prologue(self, finfo):
+        self.emit(f"addiu $sp, $sp, -{self._frame_size}")
+        self.emit(f"sw $31, {self._frame_size - 4}($sp)")
+        for i, sym in enumerate(finfo.params):
+            if i >= 4:
+                raise CompilerError("more than 4 parameters are unsupported")
+            self.emit(f"sw ${4 + i}, {sym.storage}($sp)")
+
+    def emit_epilogue(self, finfo):
+        self.emit(f"lw $31, {self._frame_size - 4}($sp)")
+        self.emit(f"addiu $sp, $sp, {self._frame_size}")
+        self.emit("jr $31")
+
+    def _slot(self, sym):
+        if sym.kind == "global":
+            return sym.name
+        return f"{sym.storage}($sp)"
+
+    def _temp_slot(self, slot):
+        return f"{self._temp_base - 4 * slot}($sp)"
+
+    # -- loads/stores -----------------------------------------------------
+
+    def emit_load_imm(self, value):
+        reg = self.alloc_reg()
+        self.emit(f"li {reg}, {value}")
+        return reg
+
+    def emit_load_sym(self, sym):
+        reg = self.alloc_reg()
+        self.emit(f"lw {reg}, {self._slot(sym)}")
+        return reg
+
+    def emit_store_sym(self, sym, reg):
+        self.emit(f"sw {reg}, {self._slot(sym)}")
+
+    def emit_load_label_addr(self, label):
+        reg = self.alloc_reg()
+        self.emit(f"la {reg}, {label}")
+        return reg
+
+    def emit_load_frame_addr(self, sym):
+        reg = self.alloc_reg()
+        self.emit(f"addiu {reg}, $sp, {sym.storage}")
+        return reg
+
+    def emit_load_indirect(self, addr_reg, size):
+        mnemonic = "lbu" if size == 1 else "lw"
+        self.emit(f"{mnemonic} {addr_reg}, 0({addr_reg})")
+        return addr_reg
+
+    def emit_store_indirect(self, addr_reg, value_reg, size):
+        if size != 4:
+            raise CompilerError("only word-sized indirect stores are supported")
+        self.emit(f"sw {value_reg}, 0({addr_reg})")
+
+    def emit_store_temp(self, slot, reg):
+        self.emit(f"sw {reg}, {self._temp_slot(slot)}")
+
+    def emit_load_temp(self, slot):
+        reg = self.alloc_reg()
+        self.emit(f"lw {reg}, {self._temp_slot(slot)}")
+        return reg
+
+    # -- arithmetic -------------------------------------------------------
+
+    def emit_binop(self, op, left_reg, right_node):
+        imm = self.as_imm(right_node)
+        if imm is not None:
+            if op in _SHIFT_OPS and 0 <= imm <= 31:
+                result = self.alloc_reg()
+                self.emit(f"{_ARITH[op]} {result}, {left_reg}, {imm}")
+                self.free_reg(left_reg)
+                return result
+            if op in _IMM_OPS:
+                mnemonic = _IMM_OPS[op]
+                lo, hi = (-32768, 32767) if op == "+" else (0, 65535)
+                if lo <= imm <= hi:
+                    result = self.alloc_reg()
+                    self.emit(f"{mnemonic} {result}, {left_reg}, {imm}")
+                    self.free_reg(left_reg)
+                    return result
+            right = self.emit_load_imm(imm)
+        else:
+            right = self.gen_expr(right_node)
+        return self.emit_binop_rr(op, left_reg, right)
+
+    def emit_binop_rr(self, op, left_reg, right_reg):
+        result = self.alloc_reg()
+        self.emit(f"{_ARITH[op]} {result}, {left_reg}, {right_reg}")
+        self.free_reg(left_reg)
+        self.free_reg(right_reg)
+        return result
+
+    def emit_unop(self, op, reg):
+        mnemonic = "negu" if op == "-" else "not"
+        result = self.alloc_reg()
+        self.emit(f"{mnemonic} {result}, {reg}")
+        self.free_reg(reg)
+        return result
+
+    # -- calls ------------------------------------------------------------
+
+    def emit_call(self, name, args, want_result=True):
+        if len(args) > 4:
+            raise CompilerError("more than 4 call arguments are unsupported")
+        regs = self.eval_args(args)
+        for i, reg in enumerate(regs):
+            self.emit(f"move ${4 + i}, {reg}")
+            self.free_reg(reg)
+        self.emit(f"jal {name}")
+        if not want_result:
+            return None
+        dst = self.alloc_reg()
+        self.emit(f"move {dst}, $2")
+        return dst
+
+    def emit_set_retval(self, reg):
+        self.emit(f"move $2, {reg}")
+
+    # -- control flow -------------------------------------------------------
+
+    def emit_jump(self, label):
+        self.emit(f"j {label}")
+
+    def emit_cmp_branch(self, op, left_node, right_node, label):
+        left = self.gen_expr(left_node)
+        right = self.gen_expr(right_node)
+        self.emit(f"{_BFALSE[op]} {left}, {right}, {label}")
+        self.free_reg(left)
+        self.free_reg(right)
+
+    def emit_branch_if_zero(self, reg, label):
+        self.emit(f"beq {reg}, $0, {label}")

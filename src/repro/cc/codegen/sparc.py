@@ -1,0 +1,232 @@
+"""SPARC code generator.
+
+Reproduces the SPARC idioms the paper studies: procedure actuals staged
+into ``%o0..%o5`` (implicit call arguments, Figure 4a), the final
+argument move placed in the ``call`` delay slot (Figure 4c),
+multiplication via ``call .mul, 2`` with the result in ``%o0``
+(Figure 15e), and 13-bit immediates with ``set`` for anything larger.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.cc.codegen.base import CodeGen
+from repro.cc.sema import SizeModel
+from repro.errors import CompilerError
+
+_ARITH = {"+": "add", "-": "sub", "&": "and", "|": "or", "^": "xor", "<<": "sll", ">>": "sra"}
+_SOFTWARE = {"*": ".mul", "/": ".div", "%": ".rem"}
+_BFALSE = {"<": "bge", "<=": "bg", ">": "ble", ">=": "bl", "==": "bne", "!=": "be"}
+_IMM13 = (-4096, 4095)
+
+#: instructions safe to hoist into a call's delay slot (a register move
+#: that only feeds the call's implicit arguments)
+_DELAY_RE = re.compile(r"^\t(mov|set)\s+.*,\s*%o[0-5]$")
+
+
+class SparcCodeGen(CodeGen):
+    name = "sparc"
+    comment = "!"
+    reg_pool = ("%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7")
+    word_directive = ".long"
+    word_align = 4
+    sizes = SizeModel(int_size=4, char_size=1, pointer_size=4)
+
+    # -- frame ----------------------------------------------------------
+
+    def assign_frame(self, finfo):
+        offset = -12  # [-4]=saved %fp, [-8]=saved %o7
+        for sym in finfo.params + finfo.locals:
+            sym.storage = offset
+            offset -= 4
+        self._temp_base = offset
+        self._frame_size = 8 + 4 * (
+            len(finfo.params) + len(finfo.locals) + self.TEMP_SLOTS
+        )
+
+    def emit_prologue(self, finfo):
+        self.emit("st %fp, [%sp-4]")
+        self.emit("st %o7, [%sp-8]")
+        self.emit("mov %sp, %fp")
+        self.emit(f"sub %sp, {self._frame_size}, %sp")
+        if len(finfo.params) > 6:
+            raise CompilerError("more than 6 parameters are unsupported")
+        for i, sym in enumerate(finfo.params):
+            self.emit(f"st %o{i}, [%fp{sym.storage}]")
+
+    def emit_epilogue(self, finfo):
+        self.emit("mov %fp, %sp")
+        self.emit("ld [%sp-8], %o7")
+        self.emit("ld [%sp-4], %fp")
+        self.emit("retl")
+
+    def _slot(self, sym):
+        return f"[%fp{sym.storage}]"
+
+    def _temp_slot(self, slot):
+        return f"[%fp{self._temp_base - 4 * slot}]"
+
+    def _fits13(self, value):
+        return _IMM13[0] <= value <= _IMM13[1]
+
+    # -- loads/stores -----------------------------------------------------
+
+    def emit_load_imm(self, value):
+        reg = self.alloc_reg()
+        if self._fits13(value):
+            self.emit(f"mov {value}, {reg}")
+        else:
+            self.emit(f"set {value}, {reg}")
+        return reg
+
+    def emit_load_sym(self, sym):
+        reg = self.alloc_reg()
+        if sym.kind == "global":
+            addr = self.alloc_reg()
+            self.emit(f"set {sym.name}, {addr}")
+            self.emit(f"ld [{addr}], {reg}")
+            self.free_reg(addr)
+        else:
+            self.emit(f"ld {self._slot(sym)}, {reg}")
+        return reg
+
+    def emit_store_sym(self, sym, reg):
+        if sym.kind == "global":
+            addr = self.alloc_reg()
+            self.emit(f"set {sym.name}, {addr}")
+            self.emit(f"st {reg}, [{addr}]")
+            self.free_reg(addr)
+        else:
+            self.emit(f"st {reg}, {self._slot(sym)}")
+
+    def emit_load_label_addr(self, label):
+        reg = self.alloc_reg()
+        self.emit(f"set {label}, {reg}")
+        return reg
+
+    def emit_load_frame_addr(self, sym):
+        reg = self.alloc_reg()
+        self.emit(f"add %fp, {sym.storage}, {reg}")
+        return reg
+
+    def emit_load_indirect(self, addr_reg, size):
+        mnemonic = "ldub" if size == 1 else "ld"
+        self.emit(f"{mnemonic} [{addr_reg}], {addr_reg}")
+        return addr_reg
+
+    def emit_store_indirect(self, addr_reg, value_reg, size):
+        if size != 4:
+            raise CompilerError("only word-sized indirect stores are supported")
+        self.emit(f"st {value_reg}, [{addr_reg}]")
+
+    def emit_store_temp(self, slot, reg):
+        self.emit(f"st {reg}, {self._temp_slot(slot)}")
+
+    def emit_load_temp(self, slot):
+        reg = self.alloc_reg()
+        self.emit(f"ld {self._temp_slot(slot)}, {reg}")
+        return reg
+
+    # -- arithmetic -------------------------------------------------------
+
+    def emit_binop(self, op, left_reg, right_node):
+        if op in _SOFTWARE:
+            imm = self.as_imm(right_node)
+            if imm is not None:
+                right = self.emit_load_imm(imm)
+            else:
+                right = self.gen_expr(right_node)
+            return self._software_binop(op, left_reg, right)
+        imm = self.as_imm(right_node)
+        if imm is not None and self._fits13(imm) and (op not in ("<<", ">>") or 0 <= imm <= 31):
+            result = self.alloc_reg()
+            self.emit(f"{_ARITH[op]} {left_reg}, {imm}, {result}")
+            self.free_reg(left_reg)
+            return result
+        if imm is not None:
+            right = self.emit_load_imm(imm)
+        else:
+            right = self.gen_expr(right_node)
+        return self.emit_binop_rr(op, left_reg, right)
+
+    def emit_binop_rr(self, op, left_reg, right_reg):
+        if op in _SOFTWARE:
+            return self._software_binop(op, left_reg, right_reg)
+        result = self.alloc_reg()
+        self.emit(f"{_ARITH[op]} {left_reg}, {right_reg}, {result}")
+        self.free_reg(left_reg)
+        self.free_reg(right_reg)
+        return result
+
+    def _software_binop(self, op, left_reg, right_reg):
+        """Multiplication/division through the software routines, with
+        implicit %o0/%o1 arguments and the %o0 result (Figure 15e)."""
+        self.emit(f"mov {left_reg}, %o0")
+        self.emit(f"mov {right_reg}, %o1")
+        self.free_reg(left_reg)
+        self.free_reg(right_reg)
+        self._emit_call_with_delay(_SOFTWARE[op], 2)
+        result = self.alloc_reg()
+        self.emit(f"mov %o0, {result}")
+        return result
+
+    def emit_unop(self, op, reg):
+        mnemonic = "neg" if op == "-" else "not"
+        result = self.alloc_reg()
+        self.emit(f"{mnemonic} {reg}, {result}")
+        self.free_reg(reg)
+        return result
+
+    # -- calls ------------------------------------------------------------
+
+    def _emit_call_with_delay(self, name, nargs):
+        """Emit a call, hoisting the preceding %o-register move into the
+        delay slot when possible (paper Figure 4c), else padding with nop."""
+        filler = None
+        if self.text_lines and _DELAY_RE.match(self.text_lines[-1]):
+            filler = self.text_lines.pop()
+        self.emit(f"call {name}, {nargs}")
+        if filler is not None:
+            self.text_lines.append(filler)
+        else:
+            self.emit("nop")
+
+    def emit_call(self, name, args, want_result=True):
+        if len(args) > 6:
+            raise CompilerError("more than 6 call arguments are unsupported")
+        regs = self.eval_args(args)
+        for i, reg in enumerate(regs):
+            self.emit(f"mov {reg}, %o{i}")
+            self.free_reg(reg)
+        self._emit_call_with_delay(name, len(args))
+        if not want_result:
+            return None
+        dst = self.alloc_reg()
+        self.emit(f"mov %o0, {dst}")
+        return dst
+
+    def emit_set_retval(self, reg):
+        self.emit(f"mov {reg}, %o0")
+
+    # -- control flow -------------------------------------------------------
+
+    def emit_jump(self, label):
+        self.emit(f"ba {label}")
+
+    def emit_cmp_branch(self, op, left_node, right_node, label):
+        left = self.gen_expr(left_node)
+        imm = self.as_imm(right_node)
+        if imm is not None and self._fits13(imm):
+            self.emit(f"cmp {left}, {imm}")
+        else:
+            right = self.gen_expr(right_node)
+            self.emit(f"cmp {left}, {right}")
+            self.free_reg(right)
+        self.free_reg(left)
+        self.emit(f"{_BFALSE[op]} {label}")
+
+    def emit_branch_if_zero(self, reg, label):
+        self.emit(f"cmp {reg}, 0")
+        self.free_reg(reg)
+        self.emit(f"be {label}")

@@ -1,0 +1,308 @@
+"""VAX code generator.
+
+The CISC of the set: simple assignments of binary expressions compile to
+single memory-to-memory three-operand instructions (``addl3
+-12(fp),-8(fp),-4(fp)``, paper Figure 3), truth tests compile to ``tstl``
++ ``jeql`` exactly as in Figure 3, and the register path uses use-def
+two-operand forms (``addl2``).  There is no AND instruction (``bicl``
+clears bits), no remainder instruction, and right shifts go through
+``ashl`` with a negated count -- the conditional-direction shift the
+paper's reverse interpreter cannot model (section 5.2.3).
+"""
+
+from __future__ import annotations
+
+from repro.cc import cast
+from repro.cc.codegen.base import NEGATED, CodeGen
+from repro.cc.sema import SizeModel, is_comparison
+from repro.errors import CompilerError
+
+#: three-operand mnemonic and whether its first two operands are swapped
+#: relative to `dst = left OP right` (VAX subl3/divl3 take sub/divisor first)
+_OP3 = {
+    "+": ("addl3", False),
+    "-": ("subl3", True),
+    "*": ("mull3", False),
+    "/": ("divl3", True),
+    "|": ("bisl3", False),
+    "^": ("xorl3", False),
+}
+_OP2 = {"+": "addl2", "-": "subl2", "*": "mull2", "/": "divl2", "|": "bisl2", "^": "xorl2"}
+_JCC = {"<": "jlss", "<=": "jleq", ">": "jgtr", ">=": "jgeq", "==": "jeql", "!=": "jneq"}
+
+
+class VaxCodeGen(CodeGen):
+    name = "vax"
+    comment = "#"
+    reg_pool = ("r0", "r1", "r2", "r3", "r4", "r5")
+    word_directive = ".long"
+    word_align = 4
+    sizes = SizeModel(int_size=4, char_size=1, pointer_size=4)
+
+    # -- frame ----------------------------------------------------------
+
+    def assign_frame(self, finfo):
+        offset = 4
+        for sym in finfo.params:
+            sym.storage = ("ap", offset)
+            offset += 4
+        offset = 0
+        for sym in finfo.locals:
+            offset -= 4
+            sym.storage = ("fp", offset)
+        self._temp_base = offset
+        self._frame_size = -offset + 4 * self.TEMP_SLOTS
+
+    def emit_prologue(self, finfo):
+        if self._frame_size:
+            self.emit(f"subl2 ${self._frame_size}, sp")
+
+    def emit_epilogue(self, finfo):
+        self.emit("ret")
+
+    def _slot(self, sym):
+        if sym.kind == "global":
+            return sym.name
+        base, offset = sym.storage
+        return f"{offset}({base})"
+
+    def _temp_slot(self, slot):
+        return f"{self._temp_base - 4 * (slot + 1)}(fp)"
+
+    # -- addressable operands (the CISC speciality) ---------------------
+
+    def _operand(self, node):
+        """Render *node* as a directly addressable VAX operand, or None."""
+        imm = self.as_imm(node)
+        if imm is not None:
+            return f"${imm}"
+        sym = self.as_plain_var(node)
+        if sym is not None:
+            return self._slot(sym)
+        if isinstance(node, cast.StrLit):
+            return f"${self.string_label(node.value)}"
+        return None
+
+    def _operand_or_reg(self, node):
+        operand = self._operand(node)
+        if operand is not None:
+            return operand, None
+        reg = self.gen_expr(node)
+        return reg, reg
+
+    # -- memory-to-memory assignment forms -------------------------------
+
+    def _gen_assign(self, node, for_value):
+        if for_value or not isinstance(node.target, cast.Ident):
+            return super()._gen_assign(node, for_value)
+        dst = self._slot(node.target.symbol)
+        if self._try_assign_direct(node.value, dst):
+            return None
+        return super()._gen_assign(node, for_value)
+
+    def _try_assign_direct(self, value, dst):
+        """Emit `OPl3 src1, src2, dst` / `movl src, dst` style code when
+        every operand is directly addressable.  Returns True on success."""
+        src = self._operand(value)
+        if src is not None:
+            self.emit(f"movl {src}, {dst}")
+            return True
+        if isinstance(value, cast.Unary) and value.op in ("-", "~"):
+            src = self._operand(value.operand)
+            if src is not None:
+                mnemonic = "mnegl" if value.op == "-" else "mcoml"
+                self.emit(f"{mnemonic} {src}, {dst}")
+                return True
+            return False
+        if isinstance(value, cast.Binary) and not is_comparison(value):
+            left = self._operand(value.left)
+            right = self._operand(value.right)
+            if left is None or right is None:
+                return False
+            op = value.op
+            if op in _OP3:
+                mnemonic, swap = _OP3[op]
+                first, second = (right, left) if swap else (left, right)
+                self.emit(f"{mnemonic} {first}, {second}, {dst}")
+                return True
+            if op == "&":
+                # No AND: complement one side, clear its bits from the other.
+                reg = self.alloc_reg()
+                self.emit(f"mcoml {left}, {reg}")
+                self.emit(f"bicl3 {reg}, {right}, {dst}")
+                self.free_reg(reg)
+                return True
+            if op == "<<":
+                imm = self.as_imm(value.right)
+                if imm is not None:
+                    self.emit(f"ashl ${imm}, {left}, {dst}")
+                else:
+                    self.emit(f"ashl {right}, {left}, {dst}")
+                return True
+            if op == ">>":
+                imm = self.as_imm(value.right)
+                if imm is not None:
+                    self.emit(f"ashl ${-imm}, {left}, {dst}")
+                else:
+                    reg = self.alloc_reg()
+                    self.emit(f"mnegl {right}, {reg}")
+                    self.emit(f"ashl {reg}, {left}, {dst}")
+                    self.free_reg(reg)
+                return True
+            if op == "%":
+                quot = self.alloc_reg()
+                rest = self.alloc_reg()
+                self.emit(f"divl3 {right}, {left}, {quot}")
+                self.emit(f"mull2 {right}, {quot}")
+                self.emit(f"subl3 {quot}, {left}, {rest}")
+                self.emit(f"movl {rest}, {dst}")
+                self.free_reg(quot)
+                self.free_reg(rest)
+                return True
+        return False
+
+    # -- register-path loads/stores ---------------------------------------
+
+    def emit_load_imm(self, value):
+        reg = self.alloc_reg()
+        self.emit(f"movl ${value}, {reg}")
+        return reg
+
+    def emit_load_sym(self, sym):
+        reg = self.alloc_reg()
+        self.emit(f"movl {self._slot(sym)}, {reg}")
+        return reg
+
+    def emit_store_sym(self, sym, reg):
+        self.emit(f"movl {reg}, {self._slot(sym)}")
+
+    def emit_load_label_addr(self, label):
+        reg = self.alloc_reg()
+        self.emit(f"moval {label}, {reg}")
+        return reg
+
+    def emit_load_frame_addr(self, sym):
+        reg = self.alloc_reg()
+        base, offset = sym.storage
+        self.emit(f"moval {offset}({base}), {reg}")
+        return reg
+
+    def emit_load_indirect(self, addr_reg, size):
+        mnemonic = "movzbl" if size == 1 else "movl"
+        self.emit(f"{mnemonic} ({addr_reg}), {addr_reg}")
+        return addr_reg
+
+    def emit_store_indirect(self, addr_reg, value_reg, size):
+        if size != 4:
+            raise CompilerError("only word-sized indirect stores are supported")
+        self.emit(f"movl {value_reg}, ({addr_reg})")
+
+    def emit_store_temp(self, slot, reg):
+        self.emit(f"movl {reg}, {self._temp_slot(slot)}")
+
+    def emit_load_temp(self, slot):
+        reg = self.alloc_reg()
+        self.emit(f"movl {self._temp_slot(slot)}, {reg}")
+        return reg
+
+    # -- register-path arithmetic ------------------------------------------
+
+    def emit_binop(self, op, left_reg, right_node):
+        src, src_reg = self._operand_or_reg(right_node)
+        result = self._binop_src(op, left_reg, src)
+        if src_reg is not None:
+            self.free_reg(src_reg)
+        return result
+
+    def emit_binop_rr(self, op, left_reg, right_reg):
+        result = self._binop_src(op, left_reg, right_reg)
+        self.free_reg(right_reg)
+        return result
+
+    def _binop_src(self, op, left_reg, src):
+        if op in _OP2:
+            self.emit(f"{_OP2[op]} {src}, {left_reg}")
+            return left_reg
+        if op == "&":
+            tmp = self.alloc_reg()
+            self.emit(f"mcoml {src}, {tmp}")
+            self.emit(f"bicl2 {tmp}, {left_reg}")
+            self.free_reg(tmp)
+            return left_reg
+        if op == "<<":
+            self.emit(f"ashl {src}, {left_reg}, {left_reg}")
+            return left_reg
+        if op == ">>":
+            if src.startswith("$"):
+                self.emit(f"ashl ${-int(src[1:])}, {left_reg}, {left_reg}")
+            else:
+                tmp = self.alloc_reg()
+                self.emit(f"mnegl {src}, {tmp}")
+                self.emit(f"ashl {tmp}, {left_reg}, {left_reg}")
+                self.free_reg(tmp)
+            return left_reg
+        if op == "%":
+            quot = self.alloc_reg()
+            self.emit(f"divl3 {src}, {left_reg}, {quot}")
+            self.emit(f"mull2 {src}, {quot}")
+            self.emit(f"subl2 {quot}, {left_reg}")
+            self.free_reg(quot)
+            return left_reg
+        raise CompilerError(f"unsupported operator {op!r}")
+
+    def emit_unop(self, op, reg):
+        mnemonic = "mnegl" if op == "-" else "mcoml"
+        self.emit(f"{mnemonic} {reg}, {reg}")
+        return reg
+
+    # -- calls ------------------------------------------------------------
+
+    def emit_call(self, name, args, want_result=True):
+        for arg in reversed(args):
+            operand = self._operand(arg)
+            if operand is not None:
+                self.emit(f"pushl {operand}")
+            else:
+                reg = self.gen_expr(arg)
+                self.emit(f"pushl {reg}")
+                self.free_reg(reg)
+        self.emit(f"calls ${len(args)}, {name}")
+        if not want_result:
+            return None
+        dst = self.alloc_reg()
+        if dst != "r0":
+            self.emit(f"movl r0, {dst}")
+        return dst
+
+    def emit_set_retval(self, reg):
+        if reg != "r0":
+            self.emit(f"movl {reg}, r0")
+
+    # -- control flow -------------------------------------------------------
+
+    def emit_jump(self, label):
+        self.emit(f"jbr {label}")
+
+    def branch_false(self, cond, label):
+        # `if (z1) ...` compiles to `tstl z1; jeql ...` (paper Figure 3).
+        if not is_comparison(cond):
+            operand = self._operand(cond)
+            if operand is not None:
+                self.emit(f"tstl {operand}")
+                self.emit(f"jeql {label}")
+                return
+        super().branch_false(cond, label)
+
+    def emit_cmp_branch(self, op, left_node, right_node, label):
+        left, left_reg = self._operand_or_reg(left_node)
+        right, right_reg = self._operand_or_reg(right_node)
+        self.emit(f"cmpl {left}, {right}")
+        if left_reg is not None:
+            self.free_reg(left_reg)
+        if right_reg is not None:
+            self.free_reg(right_reg)
+        self.emit(f"{_JCC[NEGATED[op]]} {label}")
+
+    def emit_branch_if_zero(self, reg, label):
+        self.emit(f"tstl {reg}")
+        self.emit(f"jeql {label}")

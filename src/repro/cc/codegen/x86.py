@@ -1,0 +1,294 @@
+"""x86 (i386, AT&T) code generator.
+
+Deliberately reproduces the idioms the paper dissects:
+
+- call arguments are each computed into a register (preferring ``%eax``)
+  and pushed, and the result is moved out of ``%eax`` into another
+  register -- giving the threefold unrelated use of ``%eax`` in paper
+  Figure 4(b) that live-range splitting (Figure 7) must untangle;
+- division loads the dividend into a register, moves it to ``%eax``,
+  sign-extends with ``cltd`` and divides with ``idivl`` -- the implicit
+  argument example of Figures 8 and 10(d);
+- two-address arithmetic makes destinations use-def (Figure 9's
+  ``imull``).
+"""
+
+from __future__ import annotations
+
+from repro.cc import cast
+from repro.cc.codegen.base import NEGATED, CodeGen
+from repro.cc.sema import SizeModel
+from repro.errors import CompilerError
+
+_ARITH = {"+": "addl", "-": "subl", "*": "imull", "&": "andl", "|": "orl", "^": "xorl"}
+_SHIFT = {"<<": "sall", ">>": "sarl"}
+_JCC = {"<": "jl", "<=": "jle", ">": "jg", ">=": "jge", "==": "je", "!=": "jne"}
+
+
+class X86CodeGen(CodeGen):
+    name = "x86"
+    comment = "#"
+    reg_pool = ("%eax", "%edx", "%ecx", "%ebx", "%esi", "%edi")
+    word_directive = ".long"
+    word_align = 4
+    sizes = SizeModel(int_size=4, char_size=1, pointer_size=4)
+
+    # -- frame ----------------------------------------------------------
+
+    def assign_frame(self, finfo):
+        offset = 8
+        for sym in finfo.params:
+            sym.storage = offset
+            offset += 4
+        offset = 0
+        for sym in finfo.locals:
+            offset -= 4
+            sym.storage = offset
+        self._temp_base = offset
+        self._frame_size = -offset + 4 * self.TEMP_SLOTS
+
+    def emit_prologue(self, finfo):
+        self.emit("pushl %ebp")
+        self.emit("movl %esp, %ebp")
+        if self._frame_size:
+            self.emit(f"subl ${self._frame_size}, %esp")
+
+    def emit_epilogue(self, finfo):
+        self.emit("leave")
+        self.emit("ret")
+
+    def _slot(self, sym):
+        if sym.kind == "global":
+            return sym.name
+        return f"{sym.storage}(%ebp)"
+
+    def _temp_slot(self, slot):
+        return f"{self._temp_base - 4 * (slot + 1)}(%ebp)"
+
+    # -- loads/stores -----------------------------------------------------
+
+    def emit_load_imm(self, value):
+        reg = self.alloc_reg()
+        self.emit(f"movl ${value}, {reg}")
+        return reg
+
+    def emit_load_sym(self, sym):
+        reg = self.alloc_reg()
+        self.emit(f"movl {self._slot(sym)}, {reg}")
+        return reg
+
+    def emit_store_sym(self, sym, reg):
+        self.emit(f"movl {reg}, {self._slot(sym)}")
+
+    def emit_load_label_addr(self, label):
+        reg = self.alloc_reg()
+        self.emit(f"movl ${label}, {reg}")
+        return reg
+
+    def emit_load_frame_addr(self, sym):
+        reg = self.alloc_reg()
+        self.emit(f"leal {sym.storage}(%ebp), {reg}")
+        return reg
+
+    def emit_load_indirect(self, addr_reg, size):
+        if size == 1:
+            self.emit(f"movzbl ({addr_reg}), {addr_reg}")
+        else:
+            self.emit(f"movl ({addr_reg}), {addr_reg}")
+        return addr_reg
+
+    def emit_store_indirect(self, addr_reg, value_reg, size):
+        if size != 4:
+            raise CompilerError("only word-sized indirect stores are supported")
+        self.emit(f"movl {value_reg}, ({addr_reg})")
+
+    def emit_store_temp(self, slot, reg):
+        self.emit(f"movl {reg}, {self._temp_slot(slot)}")
+
+    def emit_load_temp(self, slot):
+        reg = self.alloc_reg()
+        self.emit(f"movl {self._temp_slot(slot)}, {reg}")
+        return reg
+
+    # -- arithmetic -------------------------------------------------------
+
+    def _src_operand(self, node):
+        """Immediate or memory operand usable directly, else ``None``."""
+        imm = self.as_imm(node)
+        if imm is not None:
+            return f"${imm}"
+        sym = self.as_plain_var(node)
+        if sym is not None:
+            return self._slot(sym)
+        if isinstance(node, cast.StrLit):
+            return f"${self.string_label(node.value)}"
+        return None
+
+    def _gen_binary(self, node):
+        if node.op in ("/", "%"):
+            return self._gen_divmod(node)
+        if node.op in ("<<", ">>"):
+            if self._right_needs_spill(node.right):
+                left = self.gen_expr(node.left)
+                slot = self._alloc_temp()
+                self.emit_store_temp(slot, left)
+                self.free_reg(left)
+                right = self.gen_expr(node.right)
+                left = self.emit_load_temp(slot)
+                self._free_temp(slot)
+                return self._shift_rr(node.op, left, right)
+            return self._gen_shift(node)
+        return super()._gen_binary(node)
+
+    def _right_needs_spill(self, node):
+        """Calls clobber the pool; division and variable shifts need
+        dedicated registers (%eax/%edx/%ecx) that may hold the left value."""
+        if super()._right_needs_spill(node):
+            return True
+        if isinstance(node, cast.Binary):
+            if node.op in ("/", "%", "<<", ">>"):
+                return True
+            return self._right_needs_spill(node.left) or self._right_needs_spill(node.right)
+        if isinstance(node, cast.Unary):
+            return self._right_needs_spill(node.operand)
+        if isinstance(node, cast.Cast):
+            return self._right_needs_spill(node.operand)
+        if isinstance(node, cast.Assign):
+            return self._right_needs_spill(node.value)
+        return False
+
+    def emit_binop(self, op, left_reg, right_node):
+        mnemonic = _ARITH[op]
+        src = self._src_operand(right_node)
+        if src is None:
+            right = self.gen_expr(right_node)
+            self.emit(f"{mnemonic} {right}, {left_reg}")
+            self.free_reg(right)
+        else:
+            self.emit(f"{mnemonic} {src}, {left_reg}")
+        return left_reg
+
+    def emit_binop_rr(self, op, left_reg, right_reg):
+        if op in _ARITH:
+            self.emit(f"{_ARITH[op]} {right_reg}, {left_reg}")
+            self.free_reg(right_reg)
+            return left_reg
+        if op in _SHIFT:
+            return self._shift_rr(op, left_reg, right_reg)
+        raise CompilerError(f"unsupported operator {op!r} after spilling")
+
+    def _gen_shift(self, node):
+        left = self.gen_expr(node.left)
+        imm = self.as_imm(node.right)
+        if imm is not None:
+            self.emit(f"{_SHIFT[node.op]} ${imm}, {left}")
+            return left
+        right = self.gen_expr(node.right)
+        return self._shift_rr(node.op, left, right)
+
+    def _shift_rr(self, op, left, right):
+        """Variable shift counts must live in %ecx."""
+        if left == "%ecx":
+            moved = self.alloc_reg(exclude=("%ecx", right))
+            self.emit(f"movl {left}, {moved}")
+            self.free_reg(left)
+            left = moved
+        if right != "%ecx":
+            if not self.reg_is_free("%ecx"):
+                raise CompilerError("shift count register unavailable")
+            self.take_reg("%ecx")
+            self.emit(f"movl {right}, %ecx")
+            self.free_reg(right)
+            right = "%ecx"
+        self.emit(f"{_SHIFT[op]} %ecx, {left}")
+        self.free_reg(right)
+        return left
+
+    def _gen_divmod(self, node):
+        # A complex right operand (nested division, calls) is evaluated
+        # first, so %eax/%edx hold nothing live during the divide itself.
+        src = self._src_operand(node.right)
+        right = None
+        if src is None or src.startswith("$"):
+            right = self.gen_expr(node.right)
+            if right in ("%eax", "%edx"):
+                moved = self.alloc_reg(exclude=("%eax", "%edx"))
+                self.emit(f"movl {right}, {moved}")
+                self.free_reg(right)
+                right = moved
+            src = right
+        # Reserve %eax/%edx so the dividend lands elsewhere (the paper's
+        # x86 compiler produced exactly this movl-into-%ecx shape).
+        reserved = [r for r in ("%eax", "%edx") if self.reg_is_free(r)]
+        for reg in reserved:
+            self.take_reg(reg)
+        left = self.gen_expr(node.left)
+        for reg in reserved:
+            self.free_reg(reg)
+        if not self.reg_is_free("%eax") or not self.reg_is_free("%edx"):
+            raise CompilerError("division needs %eax and %edx free")
+        self.take_reg("%eax")
+        self.take_reg("%edx")
+        self.emit(f"movl {left}, %eax")
+        self.free_reg(left)
+        self.emit("cltd")
+        self.emit(f"idivl {src}")
+        if right is not None:
+            self.free_reg(right)
+        if node.op == "/":
+            self.free_reg("%edx")
+            return "%eax"
+        self.free_reg("%eax")
+        return "%edx"
+
+    def emit_unop(self, op, reg):
+        self.emit(f"{'negl' if op == '-' else 'notl'} {reg}")
+        return reg
+
+    # -- calls ------------------------------------------------------------
+
+    def emit_call(self, name, args, want_result=True):
+        for arg in reversed(args):
+            src = self._src_operand(arg)
+            if src is not None and not src.startswith("$"):
+                src = None  # compute memory args through a register (Fig 4b)
+            if src is None:
+                reg = self.gen_expr(arg)
+                self.emit(f"pushl {reg}")
+                self.free_reg(reg)
+            else:
+                self.emit(f"pushl {src}")
+        self.emit(f"call {name}")
+        if args:
+            self.emit(f"addl ${4 * len(args)}, %esp")
+        if not want_result:
+            return None
+        dst = self.alloc_reg(exclude=("%eax",))
+        self.emit(f"movl %eax, {dst}")
+        return dst
+
+    def emit_set_retval(self, reg):
+        if reg != "%eax":
+            self.emit(f"movl {reg}, %eax")
+
+    # -- control flow -------------------------------------------------------
+
+    def emit_jump(self, label):
+        self.emit(f"jmp {label}")
+
+    def emit_cmp_branch(self, op, left_node, right_node, label):
+        left = self.gen_expr(left_node)
+        src = self._src_operand(right_node)
+        right = None
+        if src is None:
+            right = self.gen_expr(right_node)
+            src = right
+        self.emit(f"cmpl {src}, {left}")
+        self.free_reg(left)
+        if right is not None:
+            self.free_reg(right)
+        self.emit(f"{_JCC[NEGATED[op]]} {label}")
+
+    def emit_branch_if_zero(self, reg, label):
+        self.emit(f"cmpl $0, {reg}")
+        self.emit(f"je {label}")

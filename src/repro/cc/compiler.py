@@ -1,0 +1,38 @@
+"""Compiler registry: one native C compiler per simulated target."""
+
+from __future__ import annotations
+
+_CODEGENS = {}
+
+
+def _registry():
+    if not _CODEGENS:
+        from repro.cc.codegen.alpha import AlphaCodeGen
+        from repro.cc.codegen.m68k import M68kCodeGen
+        from repro.cc.codegen.mips import MipsCodeGen
+        from repro.cc.codegen.sparc import SparcCodeGen
+        from repro.cc.codegen.vax import VaxCodeGen
+        from repro.cc.codegen.x86 import X86CodeGen
+
+        for cls in (X86CodeGen, MipsCodeGen, SparcCodeGen, AlphaCodeGen, VaxCodeGen, M68kCodeGen):
+            _CODEGENS[cls.name] = cls
+    return _CODEGENS
+
+
+class CCompiler:
+    """The target's ``cc -S``: C source text in, assembly text out."""
+
+    def __init__(self, target):
+        registry = _registry()
+        if target not in registry:
+            raise ValueError(f"no C compiler for target {target!r}")
+        self.target = target
+        self._codegen_cls = registry[target]
+
+    def compile(self, source, headers=None):
+        # A fresh code generator per translation unit, like running `cc`.
+        return self._codegen_cls().compile(source, headers or {})
+
+
+def compiler_for(target):
+    return CCompiler(target)

@@ -1,0 +1,145 @@
+"""C lexer with a one-directive preprocessor (``#include``)."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import CompilerError
+
+KEYWORDS = {
+    "int",
+    "char",
+    "void",
+    "if",
+    "else",
+    "while",
+    "goto",
+    "return",
+    "extern",
+    "sizeof",
+}
+
+# Multi-character operators first so "<<" beats "<".
+_OPERATORS = [
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "(",
+    ")",
+    "{",
+    "}",
+    ",",
+    ";",
+    ":",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>/\*.*?\*/|//[^\n]*)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<str>"(?:\\.|[^"\\])*")
+  | (?P<op><<|>>|<=|>=|==|!=|[=<>+\-*/%&|^~!(){},;:])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_STRING_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", '"': '"'}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "num" | "id" | "str" | "op" | "kw" | "eof"
+    value: object
+    line: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, line {self.line})"
+
+
+def preprocess(source, headers):
+    """Resolve ``#include "name"`` lines from the *headers* mapping."""
+    out = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            match = re.match(r'#\s*include\s+"([^"]+)"', stripped)
+            if not match:
+                raise CompilerError(f"unsupported directive {stripped!r}", lineno)
+            name = match.group(1)
+            if name not in headers:
+                raise CompilerError(f"header {name!r} not found", lineno)
+            out.append(headers[name])
+        else:
+            out.append(line)
+    return "\n".join(out)
+
+
+def _unescape_string(body, line):
+    out = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            i += 1
+            if i >= len(body) or body[i] not in _STRING_ESCAPES:
+                raise CompilerError("bad string escape", line)
+            out.append(_STRING_ESCAPES[body[i]])
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def tokenize(source, headers=None):
+    """Tokenize preprocessed C source; returns a list ending in an EOF token."""
+    text = preprocess(source, headers or {})
+    tokens = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise CompilerError(f"stray character {text[pos]!r}", line)
+        pos = match.end()
+        kind = match.lastgroup
+        value = match.group()
+        line += value.count("\n")
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "num":
+            if value.lower().startswith("0x"):
+                tokens.append(Token("num", int(value, 16), line))
+            elif value.startswith("0") and len(value) > 1:
+                tokens.append(Token("num", int(value, 8), line))
+            else:
+                tokens.append(Token("num", int(value, 10), line))
+        elif kind == "id":
+            if value in KEYWORDS:
+                tokens.append(Token("kw", value, line))
+            else:
+                tokens.append(Token("id", value, line))
+        elif kind == "str":
+            tokens.append(Token("str", _unescape_string(value[1:-1], line), line))
+        elif kind == "op":
+            tokens.append(Token("op", value, line))
+    tokens.append(Token("eof", None, line))
+    return tokens

@@ -1,0 +1,315 @@
+"""Recursive-descent parser for the C subset."""
+
+from __future__ import annotations
+
+from repro.cc import cast
+from repro.cc.cast import CType
+from repro.cc.lexer import tokenize
+from repro.errors import CompilerError
+
+# Binary operator precedence, loosest first.
+_PRECEDENCE = [
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+_TYPE_KEYWORDS = ("int", "char", "void")
+
+
+class Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------
+
+    @property
+    def tok(self):
+        return self.tokens[self.pos]
+
+    def peek(self, offset=1):
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self):
+        tok = self.tok
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind, value=None):
+        tok = self.tok
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = value if value is not None else kind
+            raise CompilerError(f"expected {want!r}, found {tok.value!r}", tok.line)
+        return self.advance()
+
+    def accept(self, kind, value=None):
+        tok = self.tok
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self.advance()
+        return None
+
+    def _at_type(self):
+        return self.tok.kind == "kw" and self.tok.value in _TYPE_KEYWORDS
+
+    # -- top level -------------------------------------------------------
+
+    def parse_translation_unit(self):
+        unit = cast.TranslationUnit()
+        while self.tok.kind != "eof":
+            unit.decls.extend(self._top_decl())
+        return unit
+
+    def _top_decl(self):
+        line = self.tok.line
+        extern = bool(self.accept("kw", "extern"))
+        if not self._at_type():
+            # K&R implicit-int function definition: `main() { ... }`.
+            if (
+                not extern
+                and self.tok.kind == "id"
+                and self.peek().kind == "op"
+                and self.peek().value == "("
+            ):
+                name = self.advance().value
+                return [self._function(CType("int"), name, line)]
+            raise CompilerError(f"expected declaration, found {self.tok.value!r}", line)
+        base = self._base_type()
+        ctype, name = self._declarator(base)
+        if self.tok.kind == "op" and self.tok.value == "(" and not extern:
+            return [self._function(ctype, name, line)]
+        decls = []
+        while True:
+            init = None
+            if self.accept("op", "="):
+                init = self._constant_value()
+            decls.append(cast.GlobalDecl(ctype, name, init=init, extern=extern, line=line))
+            if not self.accept("op", ","):
+                break
+            ctype, name = self._declarator(base)
+        self.expect("op", ";")
+        return decls
+
+    def _constant_value(self):
+        negative = bool(self.accept("op", "-"))
+        tok = self.expect("num")
+        return -tok.value if negative else tok.value
+
+    def _base_type(self):
+        tok = self.expect("kw")
+        if tok.value not in _TYPE_KEYWORDS:
+            raise CompilerError(f"expected type, found {tok.value!r}", tok.line)
+        return CType(tok.value)
+
+    def _declarator(self, base):
+        ctype = base
+        while self.accept("op", "*"):
+            ctype = ctype.pointer_to()
+        name = self.expect("id").value
+        return ctype, name
+
+    def _function(self, return_type, name, line):
+        self.expect("op", "(")
+        params = []
+        if not self.accept("op", ")"):
+            if self.tok.kind == "kw" and self.tok.value == "void" and self.peek().value == ")":
+                self.advance()
+            else:
+                while True:
+                    base = self._base_type()
+                    ctype, pname = self._declarator(base)
+                    params.append(cast.Param(ctype, pname))
+                    if not self.accept("op", ","):
+                        break
+            self.expect("op", ")")
+        body = self._block()
+        return cast.FuncDef(name, return_type, params, body, line=line)
+
+    # -- statements ------------------------------------------------------
+
+    def _block(self):
+        line = self.tok.line
+        self.expect("op", "{")
+        stmts = []
+        while not self.accept("op", "}"):
+            if self.tok.kind == "eof":
+                raise CompilerError("unterminated block", line)
+            stmts.append(self._stmt())
+        return cast.Block(line=line, stmts=stmts)
+
+    def _stmt(self):
+        tok = self.tok
+        line = tok.line
+        if tok.kind == "op" and tok.value == "{":
+            return self._block()
+        if tok.kind == "op" and tok.value == ";":
+            self.advance()
+            return cast.EmptyStmt(line=line)
+        if self._at_type():
+            return self._decl_stmt()
+        if tok.kind == "kw":
+            if tok.value == "if":
+                return self._if_stmt()
+            if tok.value == "while":
+                return self._while_stmt()
+            if tok.value == "goto":
+                self.advance()
+                label = self.expect("id").value
+                self.expect("op", ";")
+                return cast.Goto(line=line, label=label)
+            if tok.value == "return":
+                self.advance()
+                value = None
+                if not (self.tok.kind == "op" and self.tok.value == ";"):
+                    value = self._expr()
+                self.expect("op", ";")
+                return cast.Return(line=line, value=value)
+            raise CompilerError(f"unexpected keyword {tok.value!r}", line)
+        if tok.kind == "id" and self.peek().kind == "op" and self.peek().value == ":":
+            self.advance()
+            self.advance()
+            return cast.LabelStmt(line=line, label=tok.value, stmt=self._stmt())
+        expr = self._expr()
+        self.expect("op", ";")
+        return cast.ExprStmt(line=line, expr=expr)
+
+    def _decl_stmt(self):
+        line = self.tok.line
+        base = self._base_type()
+        decls = []
+        while True:
+            ctype, name = self._declarator(base)
+            init = None
+            if self.accept("op", "="):
+                init = self._assignment()
+            decls.append((ctype, name, init))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ";")
+        return cast.DeclStmt(line=line, decls=decls)
+
+    def _if_stmt(self):
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self._expr()
+        self.expect("op", ")")
+        then = self._stmt()
+        otherwise = None
+        if self.accept("kw", "else"):
+            otherwise = self._stmt()
+        return cast.If(line=line, cond=cond, then=then, otherwise=otherwise)
+
+    def _while_stmt(self):
+        line = self.expect("kw", "while").line
+        self.expect("op", "(")
+        cond = self._expr()
+        self.expect("op", ")")
+        body = self._stmt()
+        return cast.While(line=line, cond=cond, body=body)
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self):
+        return self._assignment()
+
+    def _assignment(self):
+        left = self._binary(0)
+        if self.tok.kind == "op" and self.tok.value == "=":
+            line = self.advance().line
+            if not self._is_lvalue(left):
+                raise CompilerError("assignment target is not an lvalue", line)
+            value = self._assignment()
+            return cast.Assign(line=line, target=left, value=value)
+        return left
+
+    @staticmethod
+    def _is_lvalue(expr):
+        if isinstance(expr, cast.Ident):
+            return True
+        if isinstance(expr, cast.Unary) and expr.op == "*":
+            return True
+        return False
+
+    def _binary(self, level):
+        if level >= len(_PRECEDENCE):
+            return self._unary()
+        left = self._binary(level + 1)
+        ops = _PRECEDENCE[level]
+        while self.tok.kind == "op" and self.tok.value in ops:
+            op = self.advance()
+            right = self._binary(level + 1)
+            left = cast.Binary(line=op.line, op=op.value, left=left, right=right)
+        return left
+
+    def _unary(self):
+        tok = self.tok
+        if tok.kind == "op" and tok.value in ("-", "~", "*", "&"):
+            self.advance()
+            operand = self._unary()
+            # Fold unary minus on literals so `*n = -1` emits an immediate,
+            # as every real compiler does.
+            if tok.value == "-" and isinstance(operand, cast.IntLit):
+                return cast.IntLit(line=tok.line, value=-operand.value)
+            return cast.Unary(line=tok.line, op=tok.value, operand=operand)
+        if tok.kind == "op" and tok.value == "(" and self._is_cast_ahead():
+            self.advance()
+            base = self._base_type()
+            ctype = base
+            while self.accept("op", "*"):
+                ctype = ctype.pointer_to()
+            self.expect("op", ")")
+            return cast.Cast(line=tok.line, to_type=ctype, operand=self._unary())
+        if tok.kind == "kw" and tok.value == "sizeof":
+            self.advance()
+            self.expect("op", "(")
+            base = self._base_type()
+            ctype = base
+            while self.accept("op", "*"):
+                ctype = ctype.pointer_to()
+            self.expect("op", ")")
+            return cast.SizeofType(line=tok.line, of_type=ctype)
+        return self._postfix()
+
+    def _is_cast_ahead(self):
+        nxt = self.peek()
+        return nxt.kind == "kw" and nxt.value in _TYPE_KEYWORDS
+
+    def _postfix(self):
+        tok = self.tok
+        if tok.kind == "num":
+            self.advance()
+            return cast.IntLit(line=tok.line, value=tok.value)
+        if tok.kind == "str":
+            self.advance()
+            return cast.StrLit(line=tok.line, value=tok.value)
+        if tok.kind == "id":
+            self.advance()
+            if self.tok.kind == "op" and self.tok.value == "(":
+                self.advance()
+                args = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self._assignment())
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", ")")
+                return cast.Call(line=tok.line, name=tok.value, args=args)
+            return cast.Ident(line=tok.line, name=tok.value)
+        if tok.kind == "op" and tok.value == "(":
+            self.advance()
+            expr = self._expr()
+            self.expect("op", ")")
+            return expr
+        raise CompilerError(f"unexpected token {tok.value!r}", tok.line)
+
+
+def parse(source, headers=None):
+    """Parse C source text into a :class:`~repro.cc.cast.TranslationUnit`."""
+    return Parser(tokenize(source, headers)).parse_translation_unit()

@@ -1,0 +1,204 @@
+"""Semantic analysis: symbol binding and type annotation.
+
+Keeps to what the code generators need: every ``Ident`` is bound to a
+:class:`Symbol`, every expression carries a ``ctype``, ``sizeof`` is
+folded to a literal, and obvious misuses raise
+:class:`~repro.errors.CompilerError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cc import cast
+from repro.cc.cast import INT, CType
+from repro.errors import CompilerError
+
+_COMPARISONS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+@dataclass
+class Symbol:
+    name: str
+    ctype: CType
+    kind: str  # "local" | "param" | "global"
+    #: filled by the code generator (frame offset for locals/params)
+    storage: object = None
+
+
+@dataclass
+class SizeModel:
+    """Target type sizes, supplied by the code generator."""
+
+    int_size: int = 4
+    char_size: int = 1
+    pointer_size: int = 4
+
+    def sizeof(self, ctype):
+        if ctype.is_pointer:
+            return self.pointer_size
+        if ctype.base == "int":
+            return self.int_size
+        if ctype.base == "char":
+            return self.char_size
+        raise CompilerError(f"sizeof({ctype}) is not a value size")
+
+
+@dataclass
+class FunctionInfo:
+    func: object
+    symbols: dict = field(default_factory=dict)
+    locals: list = field(default_factory=list)  # Symbols in declaration order
+    params: list = field(default_factory=list)
+    labels: set = field(default_factory=set)
+    gotos: set = field(default_factory=set)
+
+
+@dataclass
+class UnitInfo:
+    unit: object
+    globals: dict = field(default_factory=dict)
+    functions: dict = field(default_factory=dict)  # name -> FunctionInfo
+
+
+def analyze(unit, sizes):
+    """Bind and type-check a translation unit in place."""
+    info = UnitInfo(unit)
+    for decl in unit.decls:
+        if isinstance(decl, cast.GlobalDecl):
+            info.globals[decl.name] = Symbol(decl.name, decl.ctype, "global")
+    for decl in unit.decls:
+        if isinstance(decl, cast.FuncDef):
+            if decl.name in info.functions:
+                raise CompilerError(f"redefinition of {decl.name!r}", decl.line)
+            info.functions[decl.name] = _analyze_function(decl, info, sizes)
+    return info
+
+
+def _analyze_function(func, unit_info, sizes):
+    finfo = FunctionInfo(func)
+    for param in func.params:
+        sym = Symbol(param.name, param.ctype, "param")
+        finfo.symbols[param.name] = sym
+        finfo.params.append(sym)
+    checker = _Checker(finfo, unit_info, sizes)
+    checker.stmt(func.body)
+    missing = finfo.gotos - finfo.labels
+    if missing:
+        raise CompilerError(f"goto to undefined label(s) {sorted(missing)}", func.line)
+    return finfo
+
+
+class _Checker:
+    def __init__(self, finfo, unit_info, sizes):
+        self.finfo = finfo
+        self.unit = unit_info
+        self.sizes = sizes
+
+    # -- statements ----------------------------------------------------
+
+    def stmt(self, node):
+        if isinstance(node, cast.Block):
+            for child in node.stmts:
+                self.stmt(child)
+        elif isinstance(node, cast.DeclStmt):
+            for ctype, name, init in node.decls:
+                if name in self.finfo.symbols:
+                    raise CompilerError(f"redeclaration of {name!r}", node.line)
+                sym = Symbol(name, ctype, "local")
+                self.finfo.symbols[name] = sym
+                self.finfo.locals.append(sym)
+                if init is not None:
+                    self.expr(init)
+        elif isinstance(node, cast.ExprStmt):
+            self.expr(node.expr)
+        elif isinstance(node, cast.If):
+            self.expr(node.cond)
+            self.stmt(node.then)
+            if node.otherwise is not None:
+                self.stmt(node.otherwise)
+        elif isinstance(node, cast.While):
+            self.expr(node.cond)
+            self.stmt(node.body)
+        elif isinstance(node, cast.Goto):
+            self.finfo.gotos.add(node.label)
+        elif isinstance(node, cast.LabelStmt):
+            if node.label in self.finfo.labels:
+                raise CompilerError(f"duplicate label {node.label!r}", node.line)
+            self.finfo.labels.add(node.label)
+            self.stmt(node.stmt)
+        elif isinstance(node, cast.Return):
+            if node.value is not None:
+                self.expr(node.value)
+        elif isinstance(node, cast.EmptyStmt):
+            pass
+        else:
+            raise CompilerError(f"unknown statement {type(node).__name__}")
+
+    # -- expressions ----------------------------------------------------
+
+    def expr(self, node):
+        if isinstance(node, cast.IntLit):
+            node.ctype = INT
+        elif isinstance(node, cast.StrLit):
+            node.ctype = CType("char", 1)
+        elif isinstance(node, cast.Ident):
+            sym = self.finfo.symbols.get(node.name) or self.unit.globals.get(node.name)
+            if sym is None:
+                raise CompilerError(f"undeclared identifier {node.name!r}", node.line)
+            node.symbol = sym
+            node.ctype = sym.ctype
+        elif isinstance(node, cast.Unary):
+            self.expr(node.operand)
+            if node.op == "*":
+                if not node.operand.ctype.is_pointer:
+                    raise CompilerError("dereference of a non-pointer", node.line)
+                node.ctype = node.operand.ctype.pointee()
+            elif node.op == "&":
+                if not isinstance(node.operand, (cast.Ident, cast.Unary)):
+                    raise CompilerError("cannot take address of this expression", node.line)
+                node.ctype = node.operand.ctype.pointer_to()
+            elif node.op in ("-", "~"):
+                node.ctype = INT
+            else:
+                raise CompilerError(f"unsupported unary operator {node.op!r}", node.line)
+        elif isinstance(node, cast.Binary):
+            self.expr(node.left)
+            self.expr(node.right)
+            node.ctype = INT
+        elif isinstance(node, cast.Assign):
+            self.expr(node.target)
+            self.expr(node.value)
+            node.ctype = node.target.ctype
+        elif isinstance(node, cast.Call):
+            for arg in node.args:
+                self.expr(arg)
+            node.ctype = INT  # implicit declarations return int
+        elif isinstance(node, cast.Cast):
+            self.expr(node.operand)
+            node.ctype = node.to_type
+        elif isinstance(node, cast.SizeofType):
+            node.ctype = INT
+            node.value = self.sizes.sizeof(node.of_type)
+        else:
+            raise CompilerError(f"unknown expression {type(node).__name__}")
+        return node.ctype
+
+
+def contains_call(node):
+    """Does this expression tree contain a function call?"""
+    if isinstance(node, cast.Call):
+        return True
+    if isinstance(node, cast.Unary):
+        return contains_call(node.operand)
+    if isinstance(node, cast.Binary):
+        return contains_call(node.left) or contains_call(node.right)
+    if isinstance(node, cast.Assign):
+        return contains_call(node.target) or contains_call(node.value)
+    if isinstance(node, cast.Cast):
+        return contains_call(node.operand)
+    return False
+
+
+def is_comparison(node):
+    return isinstance(node, cast.Binary) and node.op in _COMPARISONS

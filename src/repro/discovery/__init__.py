@@ -1,0 +1,39 @@
+"""The Automatic Architecture Discovery Unit (the paper's contribution).
+
+Five components, mirroring paper Figure 2:
+
+- Generator (:mod:`~repro.discovery.generator`): emits tiny C samples and
+  compiles them on the target.
+- Lexer (:mod:`~repro.discovery.probe`, :mod:`~repro.discovery.lexer`):
+  discovers the assembler's syntax by scanning and accept/reject probing,
+  then extracts and tokenizes the relevant instructions of each sample.
+- Preprocessor (:mod:`~repro.discovery.mutation`,
+  :mod:`~repro.discovery.preprocess`): mutation analysis -- executing
+  slightly changed samples on the target -- to eliminate redundant
+  instructions, split register live ranges, detect implicit arguments and
+  compute def/use, then build a data-flow graph
+  (:mod:`~repro.discovery.dfg`).
+- Extractor (:mod:`~repro.discovery.graphmatch`,
+  :mod:`~repro.discovery.reverse_interp`): recovers the semantics of
+  instructions and addressing modes via graph matching and probabilistic
+  best-first reverse interpretation over the primitives of
+  :mod:`~repro.discovery.primitives`.
+- Synthesizer (:mod:`~repro.discovery.synthesize`): produces a BEG-style
+  machine description, combining instructions to match intermediate-code
+  operations and deriving chain rules.
+
+Everything here observes the target exclusively through
+:class:`repro.machines.machine.RemoteMachine` -- the compile / assemble /
+link / execute verbs the paper requires of a target system.
+"""
+
+__all__ = ["ArchitectureDiscovery", "DiscoveryReport"]
+
+
+def __getattr__(name):
+    # Lazy import: the driver pulls in every phase module.
+    if name in __all__:
+        from repro.discovery import driver
+
+        return getattr(driver, name)
+    raise AttributeError(name)

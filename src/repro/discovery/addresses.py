@@ -1,0 +1,71 @@
+"""Binding sample variables to their memory slots.
+
+The reverse interpreter initialises registers to symbolic values and
+must work out that (say) ``124+$sp0`` addresses ``@L1.a`` (paper section
+5.2.1).  Because every sample's ``main`` declares the same ``int a, b,
+c;``, the compiler lays the frame out identically across samples, so the
+bindings can be pinned once per target from three single-variable
+samples: ``a = <literal>`` reveals a's slot (the only memory operand in
+its region), and the copy samples ``a = b`` / ``a = c`` reveal the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discovery.asmmodel import DMem
+from repro.errors import DiscoveryError
+
+
+def _slot_key(op):
+    return (op.kind, op.base, op.disp)
+
+
+@dataclass
+class AddressMap:
+    """Maps variable names to memory-operand keys and back."""
+
+    slots: dict = field(default_factory=dict)  # var -> (kind, base, disp)
+
+    def var_of(self, mem_op):
+        key = _slot_key(mem_op)
+        for var, slot in self.slots.items():
+            if slot == key:
+                return var
+        return None
+
+    def describe(self):
+        return {var: f"{kind} base={base} disp={disp}" for var, (kind, base, disp) in self.slots.items()}
+
+
+def _region_mem_keys(sample):
+    keys = []
+    for instr in sample.region:
+        for op in instr.operands:
+            if isinstance(op, DMem):
+                key = _slot_key(op)
+                if key not in keys:
+                    keys.append(key)
+    return keys
+
+
+def discover_address_map(corpus):
+    """Derive the a/b/c slot bindings from the literal and copy samples."""
+    addr_map = AddressMap()
+    literal = next(iter(corpus.usable_samples(kind="literal")), None)
+    if literal is None:
+        raise DiscoveryError("no literal sample available for address mapping")
+    keys = _region_mem_keys(literal)
+    if len(keys) != 1:
+        raise DiscoveryError(
+            f"literal sample has {len(keys)} memory slots; expected exactly 1"
+        )
+    addr_map.slots["a"] = keys[0]
+    for sample in corpus.usable_samples(kind="copy"):
+        var = sample.shape.split("=")[1]  # "a=b" -> "b"
+        others = [k for k in _region_mem_keys(sample) if k != addr_map.slots["a"]]
+        if len(others) == 1:
+            addr_map.slots[var] = others[0]
+    if set(addr_map.slots) != {"a", "b", "c"}:
+        raise DiscoveryError(f"incomplete address map: {sorted(addr_map.slots)}")
+    return addr_map

@@ -1,0 +1,227 @@
+"""The full Automatic Architecture Discovery pipeline.
+
+``ArchitectureDiscovery(machine).run()`` performs, in order: the enquire
+probes, assembler-syntax discovery, sample generation, register-universe
+probing, region extraction, mutation-analysis preprocessing, graph
+matching, reverse interpretation, branch/call/frame analyses, and
+synthesis -- returning a :class:`DiscoveryReport` whose ``spec`` is a
+machine description ready for the back-end generator.
+
+This is the paper's Figure 1 retargeting entry point: the only inputs
+are the target machine handle (its "internet address") and, implicitly,
+the command lines its toolchain answers to.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.discovery import probe
+from repro.discovery.addresses import discover_address_map
+from repro.discovery.branches import BranchAnalysis
+from repro.discovery.calling import CallAnalysis
+from repro.discovery.dfg import build_dfg
+from repro.discovery.enquire import enquire
+from repro.discovery.frames import discover_frame, discover_idioms
+from repro.discovery.generator import SampleGenerator
+from repro.discovery.graphmatch import match_binary
+from repro.discovery.lexer import extract_region
+from repro.discovery.mutation import MutationEngine
+from repro.discovery.preprocess import Preprocessor
+from repro.discovery.reverse_interp import ReverseInterpreter
+from repro.discovery.syntax import DiscoveredSyntax
+from repro.discovery.synthesize import Synthesizer
+from repro.errors import DiscoveryError
+
+
+@dataclass
+class PhaseTiming:
+    name: str
+    seconds: float
+
+
+@dataclass
+class DiscoveryReport:
+    target: str
+    spec: object = None
+    syntax: object = None
+    enquire: object = None
+    corpus: object = None
+    addr_map: object = None
+    extraction: object = None
+    branch_model: object = None
+    call_protocol: object = None
+    frame_model: object = None
+    engine: object = None
+    timings: list = field(default_factory=list)
+    machine_stats: object = None
+    probe_log: object = None
+    notes: list = field(default_factory=list)
+
+    def summary(self):
+        usable = sum(1 for s in self.corpus.samples if s.usable) if self.corpus else 0
+        total = len(self.corpus.samples) if self.corpus else 0
+        return {
+            "target": self.target,
+            "word": f"{self.enquire.word_bits}-bit {self.enquire.endian}-endian",
+            "comment_char": self.syntax.comment_char,
+            "registers_discovered": len(self.syntax.registers),
+            "samples": f"{usable}/{total} analysed",
+            "instructions_discovered": len(self.extraction.semantics)
+            if self.extraction
+            else 0,
+            "interpretations_tried": self.extraction.interpretations_tried
+            if self.extraction
+            else 0,
+            "branch_rules": sorted(self.branch_model.rules) if self.branch_model else [],
+            "call_protocol": self.call_protocol.describe() if self.call_protocol else "?",
+            "target_executions": self.machine_stats.executions if self.machine_stats else 0,
+            "total_seconds": round(sum(t.seconds for t in self.timings), 2),
+        }
+
+    def render_summary(self):
+        lines = [f"=== architecture discovery report: {self.target} ==="]
+        for key, value in self.summary().items():
+            lines.append(f"  {key:26s}: {value}")
+        lines.append("  phase timings:")
+        for timing in self.timings:
+            lines.append(f"    {timing.name:24s}: {timing.seconds:.2f}s")
+        return "\n".join(lines)
+
+
+class ArchitectureDiscovery:
+    """End-to-end discovery against one RemoteMachine."""
+
+    def __init__(self, machine, seed=1997, ri_budget=60_000, use_likelihood=True):
+        self.machine = machine
+        self.seed = seed
+        self.ri_budget = ri_budget
+        self.use_likelihood = use_likelihood
+
+    def run(self):
+        report = DiscoveryReport(target=self.machine.target)
+        clock = _Clock(report)
+
+        with clock("enquire"):
+            report.enquire = enquire(self.machine)
+        bits = report.enquire.word_bits
+
+        with clock("assembler syntax"):
+            log = probe.ProbeLog()
+            syntax = DiscoveredSyntax()
+            syntax.comment_char = probe.discover_comment_char(self.machine, log)
+            probe.discover_literal_syntax(self.machine, syntax, log)
+            probe.discover_loadimm(self.machine, syntax, log)
+            report.syntax = syntax
+            report.probe_log = log
+
+        with clock("sample generation"):
+            generator = SampleGenerator(self.machine, syntax, seed=self.seed)
+            corpus = generator.generate(word_bits=bits)
+            report.corpus = corpus
+
+        with clock("register discovery"):
+            asms = [s.asm_text for s in corpus.samples if s.usable]
+            probe.discover_registers(self.machine, syntax, asms, log)
+
+        with clock("region extraction"):
+            for sample in corpus.samples:
+                if not sample.usable:
+                    continue
+                try:
+                    extract_region(sample, syntax)
+                except DiscoveryError as exc:
+                    sample.discard(f"extraction failed: {exc}")
+
+        engine = MutationEngine(corpus, word_bits=bits, seed=self.seed)
+        report.engine = engine
+        preprocessor = Preprocessor(engine)
+        with clock("mutation analysis"):
+            for sample in corpus.samples:
+                if not sample.usable:
+                    continue
+                try:
+                    preprocessor.process(sample)
+                except DiscoveryError as exc:
+                    sample.discard(f"preprocessing failed: {exc}")
+
+        with clock("address mapping"):
+            addr_map = discover_address_map(corpus)
+            report.addr_map = addr_map
+
+        with clock("graph matching"):
+            roles = {}
+            for sample in corpus.usable_samples():
+                if sample.kind in ("binary", "unary", "literal", "copy") and getattr(
+                    sample, "info", None
+                ):
+                    graph = build_dfg(sample, addr_map)
+                    matched = match_binary(sample, graph)
+                    for index, role in matched.roles.items():
+                        roles[(sample.name, index)] = role
+
+        with clock("reverse interpretation"):
+            interpreter = ReverseInterpreter(
+                corpus,
+                addr_map,
+                bits,
+                graph_roles=roles,
+                budget=self.ri_budget,
+                use_likelihood=self.use_likelihood,
+            )
+            report.extraction = interpreter.extract()
+
+        with clock("branch analysis"):
+            report.branch_model = BranchAnalysis(engine, addr_map, bits).analyse()
+
+        with clock("calling convention"):
+            try:
+                report.call_protocol = CallAnalysis(engine, addr_map).analyse()
+            except DiscoveryError as exc:
+                report.notes.append(f"calling convention: {exc}")
+
+        with clock("frames and idioms"):
+            frame = discover_frame(self.machine, syntax)
+            print_tpl, exit_tpl, data_lines = discover_idioms(corpus, addr_map)
+            frame.print_template = print_tpl
+            frame.exit_template = exit_tpl
+            frame.data_lines = data_lines
+            report.frame_model = frame
+
+        with clock("synthesis"):
+            synthesizer = Synthesizer(
+                engine, addr_map, report.extraction, report.enquire, log
+            )
+            report.spec = synthesizer.synthesize(
+                branch_model=report.branch_model,
+                call_protocol=report.call_protocol,
+                frame_model=report.frame_model,
+            )
+
+        report.machine_stats = self.machine.stats.snapshot()
+        return report
+
+
+class _Clock:
+    def __init__(self, report):
+        self.report = report
+
+    def __call__(self, name):
+        return _Phase(self.report, name)
+
+
+class _Phase:
+    def __init__(self, report, name):
+        self.report = report
+        self.name = name
+
+    def __enter__(self):
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.report.timings.append(
+            PhaseTiming(self.name, time.perf_counter() - self.start)
+        )
+        return False

@@ -1,0 +1,61 @@
+"""The enquire probes: type sizes, word width, endianness.
+
+Pemberton's ``enquire`` ran on the target to determine "endian-ness and
+sizes and alignment of data types" (paper section 7.2.1: "parts of
+enquire have been included into our system").  The same black-box idea:
+compile and run tiny C programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DiscoveryError
+
+_SIZES_PROBE = (
+    'main(){ printf("%i %i %i\\n", sizeof(int), sizeof(char), sizeof(int*)); exit(0); }'
+)
+
+_ENDIAN_PROBE = (
+    "main(){int a; char *p; a = 258; p = (char*)&a;"
+    ' printf("%i\\n", *p); exit(0); }'
+)
+
+
+@dataclass(frozen=True)
+class EnquireResult:
+    int_size: int
+    char_size: int
+    pointer_size: int
+    endian: str  # "little" | "big"
+
+    @property
+    def word_bits(self):
+        return self.int_size * 8
+
+    def describe(self):
+        return (
+            f"sizeof(int)={self.int_size} sizeof(char)={self.char_size} "
+            f"sizeof(int*)={self.pointer_size} {self.endian}-endian "
+            f"({self.word_bits}-bit words)"
+        )
+
+
+def enquire(machine):
+    """Run the size and endianness probes on the target."""
+    result = machine.run_c([_SIZES_PROBE])
+    if not result.ok:
+        raise DiscoveryError(f"size probe failed: {result.error}")
+    try:
+        int_size, char_size, pointer_size = map(int, result.output.split())
+    except ValueError as exc:
+        raise DiscoveryError(f"unparsable size probe output {result.output!r}") from exc
+
+    result = machine.run_c([_ENDIAN_PROBE])
+    if not result.ok:
+        raise DiscoveryError(f"endianness probe failed: {result.error}")
+    # 258 = 0x102: the byte at the *lowest* address is 2 on a
+    # little-endian machine and 0 on a big-endian one.
+    low_byte = int(result.output.strip())
+    endian = "little" if low_byte == 2 else "big"
+    return EnquireResult(int_size, char_size, pointer_size, endian)

@@ -1,0 +1,213 @@
+"""Procedure frames and the print/exit idioms.
+
+Paper section 7.2: "to generate code for a procedure we need to know
+which information needs to go in the procedure header and footer ...
+we can simply observe the differences between the assembly code
+generated from a sequence of increasingly more complex procedure
+declarations."  We fix the generated compiler's frame shape instead:
+compile one ``main`` with ``FRAME_SLOTS`` locals, each assigned a
+distinctive literal, and read off the prologue (everything before the
+first literal store) and every local's memory operand.
+
+The print and exit idioms come from the sample harness itself: every
+sample ends in ``printf("%i\\n", a); exit(0)``, so the tokenized tail of
+any sample yields ready-made emission templates, with @L1.a's slot
+replaced by a placeholder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discovery.asmmodel import DImm, DMem, DSym, Slot, split_lines
+from repro.discovery.lexer import tokenize_region
+from repro.errors import DiscoveryError
+
+#: every generated program gets a frame with this many local slots
+FRAME_SLOTS = 24
+
+_BASE_LITERAL = 24111
+
+
+@dataclass
+class FrameModel:
+    #: raw assembly lines up to and including the entry label/prologue
+    prologue_lines: list = field(default_factory=list)
+    #: DMem operand for each local slot index
+    slots: list = field(default_factory=list)
+    #: raw data-section lines defining the printf format string
+    data_lines: list = field(default_factory=list)
+    #: template instruction lists (with Slot("print_slot"))
+    print_template: list = field(default_factory=list)
+    exit_template: list = field(default_factory=list)
+
+    def describe(self):
+        return (
+            f"{len(self.slots)}-slot frame; prologue of "
+            f"{len(self.prologue_lines)} lines; print template of "
+            f"{len(self.print_template)} instructions"
+        )
+
+
+def _frame_probe_source():
+    decls = ", ".join(f"x{i}" for i in range(FRAME_SLOTS))
+    stores = " ".join(f"x{i} = {_BASE_LITERAL + i};" for i in range(FRAME_SLOTS))
+    return f"main()\n{{\n    int {decls};\n    {stores}\n    exit(0);\n}}\n"
+
+
+def discover_frame(machine, syntax):
+    """Prologue and local-slot layout for a FRAME_SLOTS-local main."""
+    asm = machine.compile_c(_frame_probe_source())
+    raw_lines = asm.splitlines()
+    instrs = tokenize_region(raw_lines, syntax)
+
+    def has_literal(instr, value):
+        text_hit = any(
+            isinstance(op, DImm) and op.value == value for op in instr.operands
+        )
+        return text_hit
+
+    first_body = None
+    for index, instr in enumerate(instrs):
+        if has_literal(instr, _BASE_LITERAL):
+            first_body = index
+            break
+    if first_body is None:
+        raise DiscoveryError("frame probe: first literal store not found")
+
+    # Map instruction index back to a raw line for the verbatim prologue.
+    model = FrameModel()
+    model.prologue_lines = _raw_lines_before(raw_lines, instrs, first_body, syntax)
+
+    # Each literal flows (possibly via a register) into one memory slot.
+    for i in range(FRAME_SLOTS):
+        slot = _slot_of_literal(instrs, _BASE_LITERAL + i, syntax)
+        if slot is None:
+            raise DiscoveryError(f"frame probe: slot for local {i} not found")
+        model.slots.append(slot)
+    return model
+
+
+def _raw_lines_before(raw_lines, instrs, body_index, syntax):
+    """Raw text lines preceding the instruction at *body_index*."""
+    target = instrs[body_index].raw
+    out = []
+    for raw in raw_lines:
+        if raw == target:
+            break
+        out.append(raw)
+    return out
+
+
+def _slot_of_literal(instrs, value, syntax):
+    carrier = None
+    for index, instr in enumerate(instrs):
+        for op in instr.operands:
+            if isinstance(op, DImm) and op.value == value:
+                # Direct memory store (VAX movl $v, slot)?
+                mems = [o for o in instr.operands if isinstance(o, DMem)]
+                if mems:
+                    return mems[0]
+                regs = instr.registers()
+                carrier = (index, regs[-1] if regs else None)
+        if carrier and index > carrier[0]:
+            if carrier[1] and carrier[1] in instr.registers():
+                mems = [o for o in instr.operands if isinstance(o, DMem)]
+                if mems:
+                    return mems[0]
+    return None
+
+
+def discover_idioms(corpus, addr_map):
+    """Print/exit templates from a sample's post-region tail."""
+    sample = next(iter(corpus.usable_samples(kind="literal")), None)
+    if sample is None:
+        sample = next(iter(corpus.usable_samples()), None)
+    if sample is None:
+        raise DiscoveryError("no sample available for idiom extraction")
+    syntax = corpus.syntax
+    instrs = tokenize_region(sample.post_lines, syntax)
+
+    printf_idx = _call_of(instrs, "printf")
+    exit_idx = _call_of(instrs, "exit")
+    if printf_idx is None or exit_idx is None or exit_idx <= printf_idx:
+        raise DiscoveryError("print/exit calls not found in sample tail")
+
+    # Everything between printf and exit that isn't argument set-up for
+    # exit belongs to the print tail (cleanup); split right after any
+    # instruction still referencing the stack-cleanup immediate.
+    print_instrs = instrs[: printf_idx + 1]
+    between = instrs[printf_idx + 1 : exit_idx + 1]
+    # Delay-slot targets: include one instruction after a call when the
+    # architecture glues them (detected from the sample's call shape).
+    tail_extra = []
+    if exit_idx + 1 < len(instrs):
+        tail_extra = [instrs[exit_idx + 1]]
+
+    a_slot = addr_map.slots.get("a")
+
+    def templated(instr):
+        operands = []
+        for op in instr.operands:
+            if isinstance(op, DMem) and (op.kind, op.base, op.disp) == a_slot:
+                operands.append(Slot("print_slot"))
+            else:
+                operands.append(op)
+        return instr.clone(operands=operands, labels=[])
+
+    model_print = [templated(i) for i in print_instrs if i.mnemonic]
+    # The cleanup (e.g. addl $8, %esp) right after printf stays with the
+    # print template; the exit-argument set-up and call form the exit
+    # template.  Heuristic split: instructions referencing the printf
+    # cleanup come first; from the first instruction onwards that feeds
+    # exit's argument, it is the exit template.
+    split = 0
+    for i, instr in enumerate(between):
+        if _feeds_exit(between, i):
+            break
+        split = i + 1
+    model_print += [templated(i) for i in between[:split] if i.mnemonic]
+    model_exit = [i.clone(labels=[]) for i in between[split:] if i.mnemonic]
+    model_exit += [i.clone(labels=[]) for i in tail_extra if i.mnemonic]
+
+    # Data lines defining the format string(s) used by the tail.
+    data_lines = _string_data_lines(sample, syntax)
+    return model_print, model_exit, data_lines
+
+
+def _call_of(instrs, name):
+    for index, instr in enumerate(instrs):
+        for op in instr.operands:
+            if isinstance(op, DSym) and op.name == name:
+                return index
+    return None
+
+
+def _feeds_exit(between, index):
+    """Everything from the first instruction loading exit's status (an
+    immediate 0 or a push of 0) onward belongs to the exit template."""
+    instr = between[index]
+    for op in instr.operands:
+        if isinstance(op, DImm) and op.value == 0:
+            return True
+        if isinstance(op, DSym) and op.name == "exit":
+            return True
+    return False
+
+
+def _string_data_lines(sample, syntax):
+    """The .data lines (label + .asciz) for string literals in main.s."""
+    out = []
+    keep = False
+    for raw in sample.asm_text.splitlines():
+        stripped = raw.strip()
+        if stripped.startswith(".data"):
+            keep = True
+            out.append(raw)
+            continue
+        if stripped.startswith(".text"):
+            keep = False
+            continue
+        if keep:
+            out.append(raw)
+    return out

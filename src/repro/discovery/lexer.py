@@ -1,0 +1,103 @@
+"""The Lexer's extraction half: find and tokenize the relevant region.
+
+Paper Figure 3: the sample statement sits between two labels (`Begin`
+and `End`), each referenced at least three times thanks to the
+conditional-goto maze, which also stops an optimizer from removing them.
+"These labels will be easy to identify since they each must be
+referenced at least three times."
+"""
+
+from __future__ import annotations
+
+from repro.discovery.asmmodel import DInstr, split_lines, split_operand_texts
+from repro.errors import DiscoveryError
+
+
+def find_delimiters(asm_text, comment_char):
+    """Return (begin_label, end_label): the two labels referenced at
+    least three times, in definition order."""
+    defined = {}  # label -> definition line index (in raw text lines)
+    references = {}
+    raw_lines = asm_text.splitlines()
+    for index, raw in enumerate(raw_lines):
+        parsed = split_lines(raw, comment_char)
+        if not parsed:
+            continue
+        line = parsed[0]
+        for label in line.labels:
+            defined.setdefault(label, index)
+    label_names = set(defined)
+    for raw in raw_lines:
+        parsed = split_lines(raw, comment_char)
+        if not parsed:
+            continue
+        line = parsed[0]
+        if line.mnemonic is None or line.is_directive:
+            continue
+        for token in line.operand_texts:
+            if token in label_names:
+                references[token] = references.get(token, 0) + 1
+    hot = sorted(
+        (label for label, count in references.items() if count >= 3),
+        key=lambda label: defined[label],
+    )
+    if len(hot) != 2:
+        raise DiscoveryError(
+            f"expected exactly 2 heavily-referenced labels, found {hot!r}"
+        )
+    return hot[0], hot[1]
+
+
+def extract_region(sample, syntax):
+    """Split the sample's assembly into (pre_lines, region, post_lines)
+    and tokenize the region instructions; fills the sample in place."""
+    begin, end = find_delimiters(sample.asm_text, syntax.comment_char)
+    raw_lines = sample.asm_text.splitlines()
+
+    def def_line(label):
+        for index, raw in enumerate(raw_lines):
+            parsed = split_lines(raw, syntax.comment_char)
+            if parsed and label in parsed[0].labels:
+                return index
+        raise DiscoveryError(f"label {label!r} vanished")
+
+    begin_index = def_line(begin)
+    end_index = def_line(end)
+    if end_index <= begin_index:
+        raise DiscoveryError("End label precedes Begin label")
+
+    sample.pre_lines = raw_lines[: begin_index + 1]
+    sample.post_lines = raw_lines[end_index:]
+    sample.region = tokenize_region(
+        raw_lines[begin_index + 1 : end_index], syntax
+    )
+    sample.notes.append(f"delimiters: {begin}..{end}")
+    return sample
+
+
+def tokenize_region(raw_lines, syntax):
+    """Tokenize assembly lines into :class:`DInstr` records."""
+    instrs = []
+    pending_labels = []
+    for raw in raw_lines:
+        for line in split_lines(raw, syntax.comment_char):
+            pending_labels.extend(line.labels)
+            if line.mnemonic is None:
+                continue
+            if line.is_directive:
+                # Directives inside a region are kept as opaque zero-cost
+                # instructions so they survive re-rendering.
+                instrs.append(
+                    DInstr(line.mnemonic, [], labels=pending_labels, raw=raw)
+                )
+                pending_labels = []
+                continue
+            operands = [syntax.classify(token) for token in line.operand_texts]
+            instrs.append(
+                DInstr(line.mnemonic, operands, labels=pending_labels, raw=raw)
+            )
+            pending_labels = []
+    if pending_labels:
+        # Trailing labels: attach to a synthetic no-op so they re-render.
+        instrs.append(DInstr("", [], labels=pending_labels))
+    return instrs

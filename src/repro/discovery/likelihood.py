@@ -1,0 +1,123 @@
+"""The likelihood model L(S, I, R) (paper section 5.2.2).
+
+``L(S,I,R) = c1*M(S,I,R) + c2*P(S,R) + c3*G(I,R) + c4*N(I,R)``
+
+- M: evidence from graph matching (weighted highest);
+- P: the sample's own semantics (a multiplication sample is unlikely to
+  contain a division instruction);
+- G: the instruction's signature (an address argument suggests a load or
+  a store, no result suggests a store);
+- N: the instruction's mnemonic (weighted lowest -- "this information
+  can be highly inaccurate").
+
+These are *static priorities*, not a fitness function: the paper argues
+no fitness function can exist in this domain, so candidates are ranked
+before the search starts and never re-scored.
+"""
+
+from __future__ import annotations
+
+from repro.discovery.primitives import C_OP_PRIM, NAME_HINTS
+from repro.discovery.terms import term_size
+
+#: implementation-specific weights (paper: "the c's are implementation
+#: specific weights"); M dominates, N barely matters.
+C1, C2, C3, C4 = 4.0, 2.0, 1.0, 0.5
+
+#: preference for the shortest interpretation
+SIZE_PENALTY = 0.8
+
+#: primitives plausibly appearing in a sample for each operator
+EXPANSIONS = {
+    "add": ("add",),
+    "sub": ("sub", "neg", "add"),
+    "mul": ("mul", "shiftLeft", "add"),
+    "div": ("div", "shiftRight", "sub", "mul"),
+    "mod": ("mod", "div", "mul", "sub"),
+    "and": ("and", "not"),
+    "or": ("or",),
+    "xor": ("xor",),
+    "shiftLeft": ("shiftLeft",),
+    "shiftRight": ("shiftRight", "shiftRightU", "neg", "shiftLeft"),
+    "neg": ("neg", "sub"),
+    "not": ("not", "xor", "or"),
+}
+
+
+def _prims_used(term, acc):
+    if term[0] in ("val", "ireg", "const"):
+        return
+    acc.add(term[0])
+    for arg in term[1:]:
+        _prims_used(arg, acc)
+
+
+def _is_identity(term):
+    return term[0] in ("val", "ireg")
+
+
+def score(sample, instr, effects, role):
+    """Score one semantics hypothesis for one instruction."""
+    prims = set()
+    total_size = 0
+    for _target, term in effects:
+        _prims_used(term, prims)
+        total_size += term_size(term)
+
+    op_prim = C_OP_PRIM.get(sample.op or "", None)
+    if sample.op == "-" and sample.kind == "unary":
+        op_prim = "neg"
+    if sample.op == "~":
+        op_prim = "not"
+
+    # -- M: graph matching evidence -----------------------------------
+    # Multi-instruction expansions (mod = div+mul+sub, shifts through a
+    # negated count...) mean the compute/forward nodes may carry any
+    # primitive from the operator's expansion set.
+    expansion = set(EXPANSIONS.get(op_prim, (op_prim,) if op_prim else ()))
+    m = 0.0
+    if role == "compute" and op_prim is not None:
+        if prims and prims <= expansion:
+            m += 1.0  # mnemonic hints (N) break ties inside the set
+        elif prims:
+            m -= 0.5
+    elif role == "forward":
+        if all(_is_identity(term) for _t, term in effects):
+            m += 1.0
+        elif prims and prims <= expansion:
+            m += 0.5
+        elif prims:
+            m -= 0.5
+    elif role in ("load", "store"):
+        if all(_is_identity(term) for _t, term in effects):
+            m += 1.0
+        elif prims:
+            m -= 0.5
+
+    # -- P: sample prior ------------------------------------------------
+    # Compilers expand some operators (the paper notes multiplication by
+    # constants becomes shifts and adds); the prior admits the typical
+    # expansion set of the sample's operator.
+    expected = set(EXPANSIONS.get(op_prim, (op_prim,) if op_prim else ()))
+    alien = prims - expected
+    p = 0.5 if not alien else -0.3 * len(alien)
+
+    # -- G: signature clues ----------------------------------------------
+    g = 0.0
+    writes_mem = any(target[0] == "mem" for target, _t in effects)
+    if writes_mem and all(_is_identity(term) for _t, term in effects):
+        g += 0.5  # an instruction with no register result stores
+    if not effects:
+        g -= 0.2  # pure no-ops are rare in a minimal region
+
+    # -- N: mnemonic hints --------------------------------------------------
+    n = 0.0
+    mnemonic = instr.mnemonic.lower()
+    for prim in prims or {"move"}:
+        hints = NAME_HINTS.get(prim, ())
+        if any(h in mnemonic for h in hints):
+            n += 1.0
+        else:
+            n -= 0.2
+
+    return C1 * m + C2 * p + C3 * g + C4 * n - SIZE_PENALTY * max(0, total_size - 1)

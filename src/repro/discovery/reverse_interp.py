@@ -1,0 +1,606 @@
+"""Reverse interpretation (paper sections 5.2--5.2.3).
+
+Given a sample's preprocessed region, the initial environment (the
+initialisation values the Generator hid inside ``Init``) and the final
+environment (the value the sample printed), search for a semantic
+interpretation of every unknown instruction and addressing mode that
+makes the region evaluate correctly -- preferring the simplest
+interpretations, ordered by the likelihood model.
+
+Registers start as unique symbolic values (``$sp <- $sp0``), addresses
+are symbolic ``base+offset`` pairs, and the variable slots discovered by
+:mod:`~repro.discovery.addresses` hold the known initialisation values;
+the final check requires ``M[@L1.a]`` to equal the printed result.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro import wordops
+from repro.discovery import likelihood
+from repro.discovery.asmmodel import DImm, DMem, DReg, DSym
+from repro.discovery.terms import TermEvalError, enumerate_terms, eval_term, render_effects
+from repro.errors import DiscoveryError
+
+
+class InterpFail(Exception):
+    """The region cannot be interpreted under this hypothesis."""
+
+
+# -- value domain -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Addr:
+    """A symbolic address: an opaque base plus a concrete offset."""
+
+    base: str
+    off: int
+
+
+@dataclass(frozen=True)
+class Junk:
+    """An unconstrained value (uninitialised register or overflowed
+    symbolic arithmetic)."""
+
+    tag: str
+
+
+def _is_int(value):
+    return isinstance(value, int)
+
+
+# -- op keys -------------------------------------------------------------
+
+
+def opkey(instr):
+    """Signature-based identity of an instruction as an extraction
+    unknown; call-like instructions are keyed by their target symbol so
+    ``call .mul`` and ``call .div`` stay distinct."""
+    key = instr.signature()
+    targets = [op.name for op in instr.operands if isinstance(op, DSym) and not op.prefix]
+    if targets:
+        key += "@" + ",".join(targets)
+    return key
+
+
+# -- machine state ---------------------------------------------------------
+
+
+class MachineState:
+    def __init__(self, addr_map, values, bits):
+        self.addr_map = addr_map
+        self.bits = bits
+        self.regs = {}
+        self.mem = {}
+        for var, value in values.items():
+            self.mem[("var", var)] = wordops.mask(value, bits)
+
+    def reg(self, name):
+        if name not in self.regs:
+            self.regs[name] = Addr(f"{name}0", 0)
+        return self.regs[name]
+
+    def set_reg(self, name, value):
+        self.regs[name] = value
+
+    def mem_key(self, mem_op):
+        var = self.addr_map.var_of(mem_op) if self.addr_map else None
+        if var is not None:
+            return ("var", var)
+        if mem_op.base is None:
+            return ("abs", mem_op.disp)
+        base_value = self.reg(mem_op.base)
+        if isinstance(base_value, Addr) and isinstance(mem_op.disp, int):
+            return ("addr", base_value.base, base_value.off + mem_op.disp)
+        raise InterpFail("memory access through a non-address base")
+
+    def load(self, mem_op):
+        key = self.mem_key(mem_op)
+        if key in self.mem:
+            return self.mem[key]
+        return Junk(f"M{key!r}")
+
+    def store(self, mem_op, value):
+        self.mem[self.mem_key(mem_op)] = value
+
+
+# -- interpreting one instruction under a hypothesis -----------------------
+
+
+def _leaf_reader(state, instr):
+    def read(leaf):
+        if leaf[0] == "val":
+            op = instr.operands[leaf[1]]
+            if isinstance(op, DReg):
+                return state.reg(op.name)
+            if isinstance(op, DImm):
+                return wordops.mask(op.value, state.bits)
+            if isinstance(op, DMem):
+                return state.load(op)
+            raise InterpFail(f"uninterpretable leaf operand {op!r}")
+        if leaf[0] == "ireg":
+            return state.reg(leaf[1])
+        if leaf[0] == "const":
+            return leaf[1]
+        raise InterpFail(f"unknown leaf {leaf!r}")
+
+    return read
+
+
+def _eval_effect_term(term, read, bits):
+    """Evaluate a term with junk/address propagation: identity terms pass
+    any value through; arithmetic over non-integers yields Junk, except
+    address+constant which stays an address."""
+    if term[0] in ("val", "ireg"):
+        return read(term)
+    if term[0] == "const":
+        return term[1]
+    args = [_eval_effect_term(arg, read, bits) for arg in term[1:]]
+    if all(_is_int(a) for a in args):
+        try:
+            return eval_term(
+                (term[0], *[("const", a) for a in args]),
+                lambda leaf: leaf[1],
+                bits,
+            )
+        except TermEvalError as exc:
+            raise InterpFail(str(exc)) from None
+    if term[0] == "add" and len(args) == 2:
+        first, second = args
+        if isinstance(first, Addr) and _is_int(second):
+            return Addr(first.base, first.off + wordops.to_signed(second, bits))
+        if isinstance(second, Addr) and _is_int(first):
+            return Addr(second.base, second.off + wordops.to_signed(first, bits))
+    if term[0] == "sub" and isinstance(args[0], Addr) and _is_int(args[1]):
+        return Addr(args[0].base, args[0].off - wordops.to_signed(args[1], bits))
+    return Junk("sym-arith")
+
+
+def apply_effects(state, instr, effects):
+    """Reads happen against the pre-state; writes land afterwards."""
+    read = _leaf_reader(state, instr)
+    pending = []
+    for target, term in effects:
+        pending.append((target, _eval_effect_term(term, read, state.bits)))
+    for target, value in pending:
+        if target[0] == "op":
+            op = instr.operands[target[1]]
+            if not isinstance(op, DReg):
+                raise InterpFail("register write target is not a register")
+            state.set_reg(op.name, value)
+        elif target[0] == "mem":
+            op = instr.operands[target[1]]
+            if not isinstance(op, DMem):
+                raise InterpFail("memory write target is not a memory operand")
+            state.store(op, value)
+        elif target[0] == "ireg":
+            state.set_reg(target[1], value)
+        else:
+            raise InterpFail(f"unknown target {target!r}")
+
+
+def interpret_region(sample, sem, addr_map, bits):
+    """Run the whole region; returns the final MachineState."""
+    state = MachineState(addr_map, sample.values, bits)
+    for instr in sample.region:
+        if not instr.mnemonic:
+            continue
+        effects = sem.get(opkey(instr))
+        if effects is None:
+            raise InterpFail(f"no semantics for {opkey(instr)}")
+        apply_effects(state, instr, effects)
+    return state
+
+
+def check_sample(sample, sem, addr_map, bits):
+    """Does the region, under *sem*, leave the expected value in @L1.a?"""
+    try:
+        state = interpret_region(sample, sem, addr_map, bits)
+    except InterpFail:
+        return False
+    expected = wordops.mask(int(sample.expected_output.strip()), bits)
+    return state.mem.get(("var", "a")) == expected
+
+
+# -- hypothesis generation ----------------------------------------------------
+
+
+MAX_MAYBE_REGS = 2
+MAX_TERMS_PER_OUTPUT = 500
+MAX_CANDIDATES = 3000
+
+
+def _visible_partition(sample, index):
+    info = sample.info
+    instr = sample.region[index]
+    reg_defs, value_leaves, mem_ops, usedefs = [], [], [], []
+    for k, op in enumerate(instr.operands):
+        if isinstance(op, DReg):
+            kind = info.visible_kinds.get((index, k), "use")
+            if kind in ("def", "usedef"):
+                reg_defs.append(k)
+            if kind in ("use", "usedef"):
+                value_leaves.append(("val", k))
+            if kind == "usedef":
+                usedefs.append(k)
+        elif isinstance(op, DImm):
+            value_leaves.append(("val", k))
+        elif isinstance(op, DMem):
+            mem_ops.append(k)
+    return reg_defs, value_leaves, mem_ops, usedefs
+
+
+_RIGHT_IDENTITY_CONSTS = {
+    ("mul", 1),
+    ("div", 1),
+    ("add", 0),
+    ("sub", 0),
+    ("or", 0),
+    ("xor", 0),
+    ("shiftLeft", 0),
+    ("shiftRight", 0),
+    ("shiftRightU", 0),
+}
+
+_COMMUTATIVE = ("mul", "add", "or", "xor", "and")
+
+
+def _has_disguised_identity(term):
+    """``mul(x, 1)``, ``add(x, 0)``... are never the *simplest*
+    interpretation of anything; rejecting them also stops them from
+    smuggling an identity past the use-def constraint."""
+    if term[0] in ("val", "ireg", "const"):
+        return False
+    if len(term) == 3:
+        prim, left, right = term
+        if right[0] == "const" and (prim, right[1]) in _RIGHT_IDENTITY_CONSTS:
+            return True
+        if (
+            prim in _COMMUTATIVE
+            and left[0] == "const"
+            and (prim, left[1]) in _RIGHT_IDENTITY_CONSTS
+        ):
+            return True
+    return any(_has_disguised_identity(arg) for arg in term[1:])
+
+
+def _respects_usedef(effects, usedefs):
+    """A use-def operand was *proven* (Figure 9) to be both read and
+    observably rewritten: its leaf must appear somewhere, and its write
+    must not be a plain pass-through of its own old value."""
+    leaves = set()
+    for _target, term in effects:
+        for leaf in term_leaves_of(term):
+            leaves.add(leaf)
+    for k in usedefs:
+        if ("val", k) not in leaves:
+            return False
+        for target, term in effects:
+            if target == ("op", k) and term == ("val", k):
+                return False
+    return True
+
+
+def term_leaves_of(term):
+    if term[0] in ("val", "ireg", "const"):
+        yield term
+        return
+    for arg in term[1:]:
+        yield from term_leaves_of(arg)
+
+
+def hypotheses(sample, index, role, max_candidates=MAX_CANDIDATES):
+    """Scored, likelihood-ordered semantics candidates for one
+    instruction instance.  Yields (score, effects) best first."""
+    info = sample.info
+    instr = sample.region[index]
+    reg_defs, value_leaves, mem_ops, usedefs = _visible_partition(sample, index)
+    implicit_in = sorted(info.implicit_in.get(index, ()))
+    implicit_out = sorted(info.implicit_out.get(index, ()))
+    maybes = sorted(info.implicit_maybe.get(index, ()))[:MAX_MAYBE_REGS]
+
+    scored = []
+    for maybe_roles in itertools.product(("none", "in", "out", "inout"), repeat=len(maybes)):
+        extra_in = [r for r, m in zip(maybes, maybe_roles) if m in ("in", "inout")]
+        extra_out = [r for r, m in zip(maybes, maybe_roles) if m in ("out", "inout")]
+        base_targets = (
+            [("op", k) for k in reg_defs]
+            + [("ireg", r) for r in implicit_out + extra_out]
+        )
+        leaves = (
+            list(value_leaves)
+            + [("ireg", r) for r in implicit_in + extra_in]
+        )
+        target_options = []
+        if base_targets:
+            target_options.append((base_targets, list(mem_ops)))
+        else:
+            for mem_out in mem_ops:
+                ins = [k for k in mem_ops if k != mem_out]
+                target_options.append(([("mem", mem_out)], ins))
+            target_options.append(([], list(mem_ops)))  # effect-free
+        for targets, mem_ins in target_options:
+            all_leaves = leaves + [("val", k) for k in mem_ins]
+            if not targets:
+                effects = ()
+                scored.append((likelihood.score(sample, instr, effects, role), effects))
+                continue
+            if not all_leaves:
+                continue
+            term_stream = (
+                t
+                for t in enumerate_terms(all_leaves, max_size=3)
+                if not _has_disguised_identity(t)
+            )
+            per_output = list(itertools.islice(term_stream, MAX_TERMS_PER_OUTPUT))
+            if len(targets) == 1:
+                for term in per_output:
+                    effects = ((targets[0], term),)
+                    if not _respects_usedef(effects, usedefs):
+                        continue
+                    scored.append(
+                        (likelihood.score(sample, instr, effects, role), effects)
+                    )
+            else:
+                # Multiple outputs: bound the cross product by size.
+                short = per_output[:60]
+                for combo in itertools.product(short, repeat=len(targets)):
+                    effects = tuple(zip(targets, combo))
+                    if not _respects_usedef(effects, usedefs):
+                        continue
+                    scored.append(
+                        (likelihood.score(sample, instr, effects, role), effects)
+                    )
+    scored.sort(key=lambda item: -item[0])
+    seen = set()
+    out = []
+    for score_value, effects in scored:
+        if effects in seen:
+            continue
+        seen.add(effects)
+        out.append((score_value, effects))
+        if len(out) >= max_candidates:
+            break
+    return out
+
+
+# -- the extractor driver -------------------------------------------------------
+
+
+@dataclass
+class OpSemantics:
+    key: str
+    effects: tuple
+    example: object  # a DInstr for rendering
+    tries: int = 0
+    samples: list = field(default_factory=list)
+
+    def render(self):
+        names = [f"arg{i}" for i in range(len(self.example.operands))]
+        return f"{self.example.mnemonic}: {render_effects(self.effects, names)}"
+
+
+@dataclass
+class ExtractionResult:
+    semantics: dict = field(default_factory=dict)  # key -> OpSemantics
+    solved: list = field(default_factory=list)
+    failed: list = field(default_factory=list)
+    interpretations_tried: int = 0
+
+    def effects_map(self):
+        return {key: op.effects for key, op in self.semantics.items()}
+
+
+class ReverseInterpreter:
+    """Probabilistic best-first search for instruction semantics."""
+
+    RI_KINDS = ("binary", "unary", "literal", "copy")
+
+    def __init__(self, corpus, addr_map, word_bits, graph_roles=None, budget=60000,
+                 use_likelihood=True):
+        self.corpus = corpus
+        self.addr_map = addr_map
+        self.bits = word_bits
+        self.graph_roles = graph_roles or {}
+        self.budget = budget
+        self.use_likelihood = use_likelihood
+
+    def extract(self):
+        result = ExtractionResult()
+        samples = [
+            s
+            for s in self.corpus.usable_samples()
+            if s.kind in self.RI_KINDS and getattr(s, "info", None) is not None
+        ]
+        pending = list(samples)
+        progress = True
+        while pending and progress:
+            progress = False
+            # Degenerate shapes (a=b/b, a=a&a) admit chance mutation
+            # successes (x/x is 1 for *every* clobber value), so they are
+            # interpreted last, once the sound shapes pinned the table.
+            pending.sort(
+                key=lambda s: (
+                    _is_degenerate(s),
+                    self._unknown_count(s, result),
+                    len(s.region),
+                )
+            )
+            still = []
+            for sample in pending:
+                if self._solve(sample, result):
+                    result.solved.append(sample.name)
+                    progress = True
+                else:
+                    still.append(sample)
+            pending = still
+        for sample in pending:
+            if not _is_degenerate(sample) and self._solve_with_revision(sample, result):
+                result.solved.append(sample.name)
+            else:
+                # Degenerate shapes never justify revising the semantics
+                # table; a failing one is simply discarded (the paper
+                # discards samples its interpreter cannot finish).
+                result.failed.append(sample.name)
+                sample.discard("reverse interpretation found no consistent semantics")
+        return result
+
+    def _solve_with_revision(self, sample, result):
+        """A failing sample may contradict an over-committed semantics
+        (x86 ``idivl`` first seen in a division sample lacks its ``%edx``
+        remainder output); retry, revising one already-known key at a
+        time and re-validating every solved sample."""
+        keys = self._keys(sample)
+        known = [k for k in keys if k in result.semantics]
+        for key in known:
+            saved = result.semantics.pop(key)
+            if self._solve(sample, result, validate_solved=True):
+                return True
+            result.semantics[key] = saved
+        return self._solve(sample, result, allow_revision=True, validate_solved=True)
+
+    # ------------------------------------------------------------------
+
+    def _keys(self, sample):
+        keys = []
+        for instr in sample.region:
+            if instr.mnemonic:
+                key = opkey(instr)
+                if key not in keys:
+                    keys.append(key)
+        return keys
+
+    def _unknown_count(self, sample, result):
+        return sum(1 for k in self._keys(sample) if k not in result.semantics)
+
+    def _first_instance(self, sample, key):
+        for i, instr in enumerate(sample.region):
+            if instr.mnemonic and opkey(instr) == key:
+                return i
+        raise DiscoveryError(f"lost instruction {key}")
+
+    def _solve(self, sample, result, allow_revision=False, validate_solved=True):
+        sem = result.effects_map()
+        keys = self._keys(sample)
+        if allow_revision:
+            unknown = list(keys)
+            sem = {k: v for k, v in sem.items() if k not in keys}
+        else:
+            unknown = [k for k in keys if k not in sem]
+        if not unknown:
+            result.interpretations_tried += 1
+            ok = check_sample(sample, sem, self.addr_map, self.bits)
+            if ok:
+                for key in keys:
+                    result.semantics[key].samples.append(sample.name)
+            return ok
+
+        candidate_lists = []
+        for key in unknown:
+            index = self._first_instance(sample, key)
+            role = self.graph_roles.get((sample.name, index))
+            cands = hypotheses(sample, index, role if self.use_likelihood else None)
+            if not self.use_likelihood:
+                # Ablation mode: blind shortest-first enumeration.
+                cands = [
+                    (-float(_effects_size(eff)), eff)
+                    for _s, eff in sorted(
+                        cands, key=lambda item: _effects_size(item[1])
+                    )
+                ]
+            candidate_lists.append((key, index, cands))
+
+        budget = [self.budget]
+        tries_log = {}
+        solved_samples = []
+        if validate_solved:
+            by_name = {s.name: s for s in self.corpus.samples}
+            solved_samples = [by_name[name] for name in dict.fromkeys(result.solved)]
+
+        def leaf_ok(assignment):
+            trial = dict(sem)
+            trial.update(assignment)
+            if not check_sample(sample, trial, self.addr_map, self.bits):
+                return False
+            # A revised semantics must still explain every solved sample.
+            trial.update(
+                {k: v.effects for k, v in result.semantics.items() if k not in trial}
+            )
+            for solved_sample in solved_samples:
+                solved_keys = set(self._keys(solved_sample))
+                if not solved_keys <= set(trial):
+                    continue
+                if not check_sample(solved_sample, trial, self.addr_map, self.bits):
+                    return False
+            return True
+
+        # Probabilistic best-first search (paper section 5.2.2): joint
+        # assignments are tried in order of decreasing total likelihood,
+        # so one instruction's plausible-but-wrong candidate cannot lock
+        # out a globally better interpretation.
+        import heapq
+
+        lists = [options for _k, _i, options in candidate_lists]
+        if any(not options for options in lists):
+            return False
+        start = (0,) * len(lists)
+
+        def total_score(vector):
+            return sum(lists[i][pos][0] for i, pos in enumerate(vector))
+
+        heap = [(-total_score(start), start)]
+        seen = {start}
+        assignment = None
+        while heap and budget[0] > 0:
+            _neg, vector = heapq.heappop(heap)
+            budget[0] -= 1
+            result.interpretations_tried += 1
+            trial_assignment = {
+                candidate_lists[i][0]: lists[i][pos][1]
+                for i, pos in enumerate(vector)
+            }
+            if leaf_ok(trial_assignment):
+                assignment = trial_assignment
+                for i, pos in enumerate(vector):
+                    tries_log[candidate_lists[i][0]] = pos + 1
+                break
+            for i in range(len(lists)):
+                if vector[i] + 1 < len(lists[i]):
+                    successor = vector[:i] + (vector[i] + 1,) + vector[i + 1:]
+                    if successor not in seen:
+                        seen.add(successor)
+                        heapq.heappush(heap, (-total_score(successor), successor))
+        if assignment is None:
+            return False
+
+        for key, index, _options in candidate_lists:
+            result.semantics[key] = OpSemantics(
+                key=key,
+                effects=assignment[key],
+                example=sample.region[index],
+                tries=tries_log.get(key, 0),
+                samples=[sample.name],
+            )
+        for key in keys:
+            if key in result.semantics and sample.name not in result.semantics[key].samples:
+                result.semantics[key].samples.append(sample.name)
+        return True
+
+
+def _effects_size(effects):
+    from repro.discovery.terms import term_size
+
+    return sum(term_size(term) for _target, term in effects)
+
+
+def _is_degenerate(sample):
+    """Shapes whose operands coincide (a=b/b, a=a&a) cannot pin operand
+    order or, sometimes, even def/use -- handle them last."""
+    if "@" not in sample.shape:
+        return False
+    rhs = sample.shape.split("=")[1]
+    left, right = rhs.split("@")
+    return left == right

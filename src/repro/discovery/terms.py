@@ -1,0 +1,121 @@
+"""Semantic terms: the language instruction semantics are expressed in.
+
+A term is a tuple tree:
+
+- ``("val", k)``   -- the value of visible operand slot *k* (registers
+  read their register, immediates their constant, memory operands the
+  loaded word -- the addressing-mode semantics ``load(loadAddr(...))``
+  of paper Figure 13 is implied);
+- ``("ireg", name)`` -- the value of an implicit register argument;
+- ``("const", v)`` -- a small literal constant;
+- ``(prim, t1 [, t2])`` -- application of a Figure 14 primitive.
+
+An instruction's semantics is a tuple of *effects* ``(target, term)``
+where the target is ``("op", k)`` (a visible register operand written),
+``("mem", k)`` (a memory operand stored through), or ``("ireg", name)``
+(an implicit register result).
+"""
+
+from __future__ import annotations
+
+from repro.discovery.primitives import TERM_PRIMS
+
+#: extra constants terms may mention (the paper's shortest-interpretation
+#: rule keeps this list tiny)
+TERM_CONSTS = (0, 1)
+
+
+def term_size(term):
+    if term[0] in ("val", "ireg", "const"):
+        return 1
+    return 1 + sum(term_size(arg) for arg in term[1:])
+
+
+def term_leaves(term):
+    if term[0] in ("val", "ireg", "const"):
+        yield term
+        return
+    for arg in term[1:]:
+        yield from term_leaves(arg)
+
+
+def render_term(term, operand_names=None):
+    kind = term[0]
+    if kind == "val":
+        if operand_names:
+            return operand_names[term[1]]
+        return f"arg{term[1]}"
+    if kind == "ireg":
+        return term[1]
+    if kind == "const":
+        return str(term[1])
+    args = ", ".join(render_term(arg, operand_names) for arg in term[1:])
+    return f"{kind}({args})"
+
+
+def render_effects(effects, operand_names=None):
+    parts = []
+    for target, term in effects:
+        if target[0] == "op":
+            name = operand_names[target[1]] if operand_names else f"arg{target[1]}"
+        elif target[0] == "mem":
+            name = (
+                f"M[{operand_names[target[1]]}]"
+                if operand_names
+                else f"M[arg{target[1]}]"
+            )
+        else:
+            name = target[1]
+        parts.append(f"{name} <- {render_term(term, operand_names)}")
+    return "; ".join(parts) or "nop"
+
+
+class TermEvalError(Exception):
+    """Division by zero or a non-integer leaf during evaluation."""
+
+
+def eval_term(term, leaf_value, bits):
+    """Evaluate a term; *leaf_value(leaf)* supplies leaf values (ints)."""
+    kind = term[0]
+    if kind in ("val", "ireg"):
+        return leaf_value(term)
+    if kind == "const":
+        return term[1]
+    arity, fn = TERM_PRIMS[kind]
+    args = [eval_term(arg, leaf_value, bits) for arg in term[1:]]
+    if kind in ("div", "mod") and args[1] % (1 << bits) == 0:
+        raise TermEvalError("division by zero")
+    return fn(bits, *args)
+
+
+def enumerate_terms(leaves, max_size=3, consts=TERM_CONSTS):
+    """All terms over the given leaves up to *max_size*, smallest first.
+
+    The shortest-first order implements the paper's preference for the
+    simplest semantic interpretation.
+    """
+    atoms = list(leaves) + [("const", c) for c in consts]
+    by_size = {1: list(leaves)}
+    yield from by_size[1]
+    # Constant results come last among size-1 terms (the x86 cltd writes
+    # a sign-extension that looks like a constant 0 on positive samples).
+    yield from (("const", c) for c in consts)
+    for size in range(2, max_size + 1):
+        terms = []
+        for name, (arity, _fn) in TERM_PRIMS.items():
+            if arity == 1:
+                for sub in by_size.get(size - 1, ()):
+                    terms.append((name, sub))
+            else:
+                # split remaining size-1 between the two arguments
+                for left_size in range(1, size - 1):
+                    right_size = size - 1 - left_size
+                    lefts = atoms if left_size == 1 else by_size.get(left_size, ())
+                    rights = atoms if right_size == 1 else by_size.get(right_size, ())
+                    for left in lefts:
+                        for right in rights:
+                            if left[0] == "const" and right[0] == "const":
+                                continue
+                            terms.append((name, left, right))
+        by_size[size] = terms
+        yield from terms

@@ -1,0 +1,42 @@
+"""Exception hierarchy shared by the whole package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CompilerError(ReproError):
+    """The miniature C compiler rejected a program."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class AssemblerError(ReproError):
+    """The target assembler flagged an illegal assembly program.
+
+    The paper only requires "an assembler which flags illegal assembly
+    instructions"; the message carries the offending line number so syntax
+    probing can work, but discovery code must not depend on message text.
+    """
+
+    def __init__(self, message, lineno=None):
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+        self.lineno = lineno
+
+
+class LinkerError(ReproError):
+    """Undefined or duplicate symbols at link time."""
+
+
+class ExecutionError(ReproError):
+    """The simulated machine crashed (bad jump, division by zero, fuel)."""
+
+
+class DiscoveryError(ReproError):
+    """The architecture discovery unit could not complete an analysis."""

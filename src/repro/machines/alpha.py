@@ -1,0 +1,235 @@
+"""Simulated Digital Alpha integer subset (little-endian, 64-bit).
+
+Reproduces the paper's Alpha idioms: ``ldq``/``stq`` with ``disp($sp)``
+addressing, ``ldiq``/``ldil`` literal loads, dst-last three-operand
+arithmetic whose second operand may be an 8-bit literal (``addl $1, 0,
+$2`` -- also the redundant-move idiom of Figure 4d), and two-instruction
+branching via ``cmpeq`` + ``bne``/``beq`` (the Synthesizer's Combiner
+case in section 6).
+
+Simplification vs. real hardware: integer division is a real instruction
+(``divl``/``reml``) rather than a software routine, and ``int`` is 8
+bytes so every operation is uniformly 64-bit.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro import wordops
+from repro.errors import ExecutionError
+from repro.machines.executor import effaddr, read, write
+from repro.machines.isa import Abi, InstrDef, InstrForm, Isa, RegisterDef, SyntaxDef
+from repro.machines.operands import Bare, Imm, Mem, Reg
+
+WORD = 64
+LIT8 = (0, 255)
+
+_REG_RE = re.compile(r"^\$(\d+|sp|fp|ra)$")
+_MEM_RE = re.compile(r"^(-?\w*)\((\$(?:\d+|sp|fp|ra))\)$")
+_ID_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+
+class AlphaSyntax(SyntaxDef):
+    comment_char = "#"
+    literal_bases = {"": 10, "0x": 16}
+
+    def parse_operand(self, text):
+        text = text.strip()
+        if not text:
+            raise ValueError("empty operand")
+        if _REG_RE.match(text):
+            return Reg(text)
+        match = _MEM_RE.match(text)
+        if match:
+            disp_text, base = match.group(1), match.group(2)
+            disp = 0 if disp_text == "" else self.parse_int(disp_text)
+            if disp is None:
+                raise ValueError(f"malformed displacement in {text!r}")
+            return Mem(disp, base)
+        value = self.parse_int(text)
+        if value is not None:
+            return Imm(value)
+        if text.startswith("$"):
+            raise ValueError(f"malformed register {text!r}")
+        if _ID_RE.match(text):
+            return Bare(text)
+        raise ValueError(f"malformed operand {text!r}")
+
+    def render_operand(self, op):
+        if isinstance(op, Reg):
+            return op.name
+        if isinstance(op, Imm):
+            return str(op.value)
+        if isinstance(op, Mem):
+            disp = op.disp if isinstance(op.disp, int) else op.disp.name
+            return f"{disp}({op.base})"
+        return str(getattr(op, "target", getattr(op, "name", op)))
+
+
+def _ldq(state, ops):
+    write(state, ops[0], state.mem.load(effaddr(state, ops[1]), 8))
+
+
+def _ldbu(state, ops):
+    write(state, ops[0], state.mem.load(effaddr(state, ops[1]), 1))
+
+
+def _stq(state, ops):
+    state.mem.store(effaddr(state, ops[1]), read(state, ops[0]), 8)
+
+
+def _ldi(state, ops):
+    write(state, ops[0], read(state, ops[1]))
+
+
+def _lda(state, ops):
+    write(state, ops[0], effaddr(state, ops[1]))
+
+
+def _mov(state, ops):
+    write(state, ops[1], read(state, ops[0]))
+
+
+def _binop(fn, check_zero=False):
+    def execute(state, ops):
+        a = read(state, ops[0])
+        b = read(state, ops[1])
+        if check_zero and wordops.mask(b, WORD) == 0:
+            raise ExecutionError("division by zero")
+        write(state, ops[2], fn(a, b, WORD))
+
+    return execute
+
+
+def _negl(state, ops):
+    write(state, ops[1], wordops.neg(read(state, ops[0]), WORD))
+
+
+def _ornot(state, ops):
+    a = read(state, ops[0])
+    b = read(state, ops[1])
+    write(state, ops[2], a | wordops.bit_not(b, WORD))
+
+
+def _compare(cond):
+    def execute(state, ops):
+        a = wordops.to_signed(read(state, ops[0]), WORD)
+        b = wordops.to_signed(read(state, ops[1]), WORD)
+        write(state, ops[2], 1 if cond(a, b) else 0)
+
+    return execute
+
+
+def _breg(cond):
+    def execute(state, ops):
+        value = wordops.to_signed(read(state, ops[0]), WORD)
+        if cond(value):
+            state.branch(read(state, ops[1]))
+
+    return execute
+
+
+def _br(state, ops):
+    state.branch(read(state, ops[0]))
+
+
+def _jsr(state, ops):
+    state.set_reg(ops[0].name, state.pc)
+    state.branch(read(state, ops[1]))
+
+
+def _ret(state, ops):
+    state.branch(wordops.to_signed(state.get_reg("$26"), WORD))
+
+
+def _nop(state, ops):
+    pass
+
+
+class AlphaAbi(Abi):
+    stack_pointer = "$30"
+
+    def get_arg(self, state, index):
+        if index < 6:
+            return state.get_reg(f"${16 + index}")
+        sp = state.get_reg("$30")
+        return state.mem.load(sp + 8 * (index - 6), 8)
+
+    def set_retval(self, state, value):
+        state.set_reg("$0", value)
+
+    def do_return(self, state):
+        state.branch(wordops.to_signed(state.get_reg("$26"), WORD))
+
+    def setup_entry(self, state, entry_index, halt_index):
+        state.set_reg("$26", halt_index)
+        state.pc = entry_index
+
+
+def build_isa():
+    registers = []
+    for n in range(0, 31):
+        aliases = {30: ("$sp",), 15: ("$fp",), 26: ("$ra",)}.get(n, ())
+        allocatable = n in range(1, 15) or n in range(22, 26)
+        registers.append(RegisterDef(f"${n}", aliases=aliases, allocatable=allocatable))
+    registers.append(RegisterDef("$31", hardwired=0, allocatable=False))
+
+    instructions = {}
+
+    def define(mnemonic, *forms):
+        instructions[mnemonic] = InstrDef(mnemonic, list(forms))
+
+    define("ldq", InstrForm(("r", "m"), _ldq))
+    define("ldbu", InstrForm(("r", "m"), _ldbu))
+    define("stq", InstrForm(("r", "m"), _stq))
+    define("ldiq", InstrForm(("r", "i"), _ldi))
+    define("ldil", InstrForm(("r", "i"), _ldi))
+    define("lda", InstrForm(("r", "m"), _lda))
+    define("mov", InstrForm(("ri", "r"), _mov))
+    for mnemonic, fn, zero in [
+        ("addl", wordops.add, False),
+        ("subl", wordops.sub, False),
+        ("mull", wordops.mul, False),
+        ("divl", wordops.sdiv, True),
+        ("reml", wordops.smod, True),
+        ("and", lambda a, b, w: a & b, False),
+        ("bis", lambda a, b, w: a | b, False),
+        ("xor", lambda a, b, w: a ^ b, False),
+        ("sll", wordops.shl, False),
+        ("srl", wordops.shr_logical, False),
+        ("sra", wordops.shr_arith, False),
+    ]:
+        define(
+            mnemonic,
+            InstrForm(("r", "ri", "r"), _binop(fn, check_zero=zero), imm_ranges={1: LIT8}),
+        )
+    define("negl", InstrForm(("r", "r"), _negl))
+    define("ornot", InstrForm(("r", "ri", "r"), _ornot, imm_ranges={1: LIT8}))
+    define("cmpeq", InstrForm(("r", "ri", "r"), _compare(lambda a, b: a == b), imm_ranges={1: LIT8}))
+    define("cmplt", InstrForm(("r", "ri", "r"), _compare(lambda a, b: a < b), imm_ranges={1: LIT8}))
+    define("cmple", InstrForm(("r", "ri", "r"), _compare(lambda a, b: a <= b), imm_ranges={1: LIT8}))
+    define("beq", InstrForm(("r", "l"), _breg(lambda v: v == 0)))
+    define("bne", InstrForm(("r", "l"), _breg(lambda v: v != 0)))
+    define("blt", InstrForm(("r", "l"), _breg(lambda v: v < 0)))
+    define("ble", InstrForm(("r", "l"), _breg(lambda v: v <= 0)))
+    define("bgt", InstrForm(("r", "l"), _breg(lambda v: v > 0)))
+    define("bge", InstrForm(("r", "l"), _breg(lambda v: v >= 0)))
+    define("br", InstrForm(("l",), _br))
+    define("jsr", InstrForm(("r", "l"), _jsr))
+    define("ret", InstrForm((), _ret))
+    define("nop", InstrForm((), _nop))
+
+    return Isa(
+        name="alpha",
+        word_bits=WORD,
+        endian="little",
+        registers=registers,
+        instructions=instructions,
+        syntax=AlphaSyntax(),
+        abi=AlphaAbi(),
+        int_size=8,
+        pointer_size=8,
+        stack_start=0x10_0000,
+        call_mnemonics=("jsr",),
+    )

@@ -1,0 +1,287 @@
+"""Generic two-section, table-driven assembler.
+
+Parses target assembly text into an :class:`ObjectFile`.  Anything the
+instruction table does not sanction -- unknown mnemonics, malformed
+operands, unknown registers, out-of-range immediates, wrong operand
+counts -- raises :class:`~repro.errors.AssemblerError`, which is exactly
+the behaviour the paper's syntax-probing techniques rely on ("assemblers
+which simply crash on the first error are quite acceptable").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+from repro.machines.operands import Imm, Mem, Reg, Sym, coerce_to_signature
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:\s*(.*)$")
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", '"': '"'}
+
+
+@dataclass
+class TextInstr:
+    """One assembled instruction (pre-link: operands may contain Syms)."""
+
+    mnemonic: str
+    form: object
+    operands: list
+    lineno: int
+    text: str
+
+
+@dataclass
+class DataEntry:
+    """One datum in the data section."""
+
+    labels: list
+    kind: str  # "long" | "byte" | "asciz" | "space" | "align"
+    value: object
+    export: bool = False
+
+
+@dataclass
+class ObjectFile:
+    """Result of assembling one compilation unit."""
+
+    isa_name: str
+    instrs: list = field(default_factory=list)
+    text_labels: dict = field(default_factory=dict)
+    data: list = field(default_factory=list)
+    exports: set = field(default_factory=set)
+
+    def local_label_names(self):
+        names = set(self.text_labels)
+        for entry in self.data:
+            names.update(entry.labels)
+        return names
+
+
+def _unescape(body, lineno):
+    out = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            i += 1
+            if i >= len(body) or body[i] not in _ESCAPES:
+                raise AssemblerError("bad string escape", lineno)
+            out.append(_ESCAPES[body[i]])
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def split_operands(text):
+    """Split an operand list on top-level commas (commas inside parens or
+    brackets belong to a single operand)."""
+    parts = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail or parts:
+        parts.append(tail)
+    return parts
+
+
+class Assembler:
+    """Assembles text for one :class:`~repro.machines.isa.Isa`."""
+
+    def __init__(self, isa):
+        self.isa = isa
+
+    def assemble(self, source):
+        obj = ObjectFile(isa_name=self.isa.name)
+        section = "text"
+        pending_labels = []
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = self._strip_comment(raw).strip()
+            if not line:
+                continue
+            # Peel off any leading labels (there may be several).
+            while True:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                pending_labels.append(match.group(1))
+                line = match.group(2).strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                section, consumed = self._directive(obj, section, line, pending_labels, lineno)
+                if consumed:
+                    pending_labels = []
+                continue
+            if section != "text":
+                raise AssemblerError("instruction outside .text section", lineno)
+            for label in pending_labels:
+                self._def_text_label(obj, label, lineno)
+            pending_labels = []
+            obj.instrs.append(self._instruction(line, lineno))
+        # Labels trailing the last instruction point one past the end.
+        if section == "text":
+            for label in pending_labels:
+                self._def_text_label(obj, label, None)
+        return obj
+
+    # -- helpers -------------------------------------------------------
+
+    def _strip_comment(self, line):
+        cut = line.find(self.isa.syntax.comment_char)
+        if cut >= 0:
+            return line[:cut]
+        return line
+
+    def _def_text_label(self, obj, label, lineno):
+        if label in obj.text_labels:
+            raise AssemblerError(f"duplicate label {label!r}", lineno)
+        obj.text_labels[label] = len(obj.instrs)
+
+    def _directive(self, obj, section, line, pending_labels, lineno):
+        """Handle one directive; returns ``(new_section, labels_consumed)``."""
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1].strip() if len(parts) > 1 else ""
+        if name == ".text":
+            return "text", False
+        if name == ".data":
+            return "data", False
+        if name == ".globl" or name == ".global":
+            for sym in split_operands(rest):
+                obj.exports.add(sym)
+            return section, False
+        if name == ".align":
+            if section == "data":
+                obj.data.append(DataEntry(list(pending_labels), "align", self._int(rest, lineno)))
+                return section, True
+            return section, False  # alignment of code is a no-op for us
+        if name in (".long", ".word", ".quad"):
+            if section != "data":
+                raise AssemblerError(f"{name} outside .data", lineno)
+            size = 8 if name == ".quad" else 4
+            values = [self._int_or_sym(v, lineno) for v in split_operands(rest)]
+            obj.data.append(DataEntry(list(pending_labels), "long", (size, values)))
+            return section, True
+        if name == ".byte":
+            if section != "data":
+                raise AssemblerError(".byte outside .data", lineno)
+            values = [self._int(v, lineno) for v in split_operands(rest)]
+            obj.data.append(DataEntry(list(pending_labels), "byte", values))
+            return section, True
+        if name == ".asciz" or name == ".ascii":
+            if section != "data":
+                raise AssemblerError(f"{name} outside .data", lineno)
+            body = rest.strip()
+            if len(body) < 2 or body[0] != '"' or body[-1] != '"':
+                raise AssemblerError("malformed string literal", lineno)
+            text = _unescape(body[1:-1], lineno)
+            if name == ".asciz":
+                text += "\0"
+            obj.data.append(DataEntry(list(pending_labels), "asciz", text))
+            return section, True
+        if name in (".skip", ".space"):
+            if section != "data":
+                raise AssemblerError(f"{name} outside .data", lineno)
+            obj.data.append(DataEntry(list(pending_labels), "space", self._int(rest, lineno)))
+            return section, True
+        if name == ".comm":
+            args = split_operands(rest)
+            if len(args) != 2:
+                raise AssemblerError(".comm needs name,size", lineno)
+            obj.data.append(
+                DataEntry([args[0]], "space", self._int(args[1], lineno), export=True)
+            )
+            obj.exports.add(args[0])
+            return section, False
+        raise AssemblerError(f"unknown directive {name!r}", lineno)
+
+    def _int(self, text, lineno):
+        value = self.isa.syntax.parse_int(text)
+        if value is None:
+            raise AssemblerError(f"bad integer literal {text!r}", lineno)
+        return value
+
+    def _int_or_sym(self, text, lineno):
+        value = self.isa.syntax.parse_int(text)
+        if value is not None:
+            return value
+        text = text.strip()
+        if re.fullmatch(r"[A-Za-z_.$][A-Za-z0-9_.$]*", text):
+            return Sym(text)
+        raise AssemblerError(f"bad data value {text!r}", lineno)
+
+    def _instruction(self, line, lineno):
+        parts = line.split(None, 1)
+        mnemonic = parts[0]
+        instr_def = self.isa.instructions.get(mnemonic)
+        if instr_def is None:
+            raise AssemblerError(f"unknown instruction {mnemonic!r}", lineno)
+        operand_text = parts[1].strip() if len(parts) > 1 else ""
+        texts = split_operands(operand_text) if operand_text else []
+        try:
+            operands = [self.isa.syntax.parse_operand(t) for t in texts]
+        except ValueError as exc:
+            raise AssemblerError(f"malformed operand: {exc}", lineno) from None
+        self._validate_registers(operands, lineno)
+        last_error = None
+        for form in instr_def.forms:
+            coerced = coerce_to_signature(operands, form.signature)
+            if coerced is None:
+                last_error = "operands do not match any form"
+                continue
+            range_error = self._check_ranges(form, coerced)
+            if range_error:
+                last_error = range_error
+                continue
+            constraint_error = self._check_reg_constraints(form, coerced)
+            if constraint_error:
+                last_error = constraint_error
+                continue
+            return TextInstr(mnemonic, form, coerced, lineno, line)
+        raise AssemblerError(f"{mnemonic}: {last_error or 'no matching form'}", lineno)
+
+    def _validate_registers(self, operands, lineno):
+        for op in operands:
+            names = []
+            if isinstance(op, Reg):
+                names.append(op.name)
+            elif isinstance(op, Mem) and op.base is not None:
+                names.append(op.base)
+            for name in names:
+                if self.isa.lookup_reg(name) is None:
+                    raise AssemblerError(f"unknown register {name!r}", lineno)
+
+    def _check_ranges(self, form, operands):
+        for index, (lo, hi) in form.imm_ranges.items():
+            op = operands[index]
+            value = None
+            if isinstance(op, Imm) and isinstance(op.value, int):
+                value = op.value
+            elif isinstance(op, Mem) and isinstance(op.disp, int):
+                value = op.disp
+            if value is not None and not lo <= value <= hi:
+                return f"immediate {value} out of range [{lo},{hi}]"
+        return None
+
+    def _check_reg_constraints(self, form, operands):
+        for index, allowed in form.reg_constraints.items():
+            op = operands[index]
+            if isinstance(op, Reg):
+                canon = self.isa.canonical_reg(op.name)
+                allowed_canon = {self.isa.canonical_reg(a) for a in allowed}
+                if canon not in allowed_canon:
+                    return f"register {op.name} not allowed in position {index}"
+        return None

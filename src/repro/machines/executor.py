@@ -1,0 +1,254 @@
+"""Machine-state interpreter for the simulated targets.
+
+Executes a linked :class:`~repro.machines.linker.Program` instruction by
+instruction.  Control transfer uses instruction indices; negative indices
+denote runtime builtins (``printf``, ``exit``, SPARC ``.mul``...).  A fuel
+counter bounds runaway executions, which mutation analysis can easily
+produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import wordops
+from repro.errors import ExecutionError
+from repro.machines.operands import Imm, Lab, Mem, Reg
+
+#: pc sentinel meaning "main returned; stop"
+HALT_INDEX = -1
+
+#: first builtin id; builtin *i* lives at pc ``BUILTIN_BASE - i``
+BUILTIN_BASE = -10
+
+DEFAULT_FUEL = 500_000
+
+
+class Memory:
+    """Byte-addressed sparse memory with configurable endianness.
+
+    Uninitialised bytes read as zero, which is deterministic; the
+    discovery unit defends against lucky zeroes with register clobbering
+    exactly as the paper prescribes.
+    """
+
+    def __init__(self, endian):
+        if endian not in ("little", "big"):
+            raise ValueError(f"bad endianness {endian!r}")
+        self.endian = endian
+        self._bytes = {}
+
+    def copy(self):
+        clone = Memory(self.endian)
+        clone._bytes = dict(self._bytes)
+        return clone
+
+    def load(self, addr, size, signed=False):
+        data = [self._bytes.get(addr + i, 0) for i in range(size)]
+        if self.endian == "little":
+            data.reverse()
+        value = 0
+        for byte in data:
+            value = (value << 8) | byte
+        if signed:
+            value = wordops.to_signed(value, size * 8)
+        return value
+
+    def store(self, addr, value, size):
+        value = wordops.mask(value, size * 8)
+        for i in range(size):
+            byte = (value >> (8 * i)) & 0xFF
+            if self.endian == "little":
+                self._bytes[addr + i] = byte
+            else:
+                self._bytes[addr + size - 1 - i] = byte
+
+    def store_bytes(self, addr, data):
+        for i, byte in enumerate(data):
+            self._bytes[addr + i] = byte
+
+    def load_cstring(self, addr, limit=4096):
+        chars = []
+        for i in range(limit):
+            byte = self._bytes.get(addr + i, 0)
+            if byte == 0:
+                return bytes(chars).decode("latin-1")
+            chars.append(byte)
+        raise ExecutionError("unterminated string in target memory")
+
+
+@dataclass
+class ExecResult:
+    """Outcome of one execution on the simulated target.
+
+    Mutation analysis compares ``output`` strings; any ``error`` makes the
+    run incomparable with a clean one.
+    """
+
+    output: str
+    exit_code: int = 0
+    steps: int = 0
+    error: str | None = None
+
+    @property
+    def ok(self):
+        return self.error is None
+
+    def same_result(self, other):
+        """The paper's mutation-success criterion: both runs succeed and
+        print the same thing."""
+        return self.ok and other.ok and self.output == other.output
+
+
+class ExecState:
+    """Registers, memory, condition codes and control state."""
+
+    def __init__(self, isa, memory):
+        self.isa = isa
+        self.mem = memory
+        self.regs = {r.name: 0 for r in isa.registers}
+        # Signed comparison outcome, in the style every target's condition
+        # codes can be projected onto: set by compare-like instructions.
+        self.cc = {"lt": False, "eq": True, "gt": False}
+        self.pc = 0
+        self.output = []
+        self.halted = False
+        self.exit_code = 0
+        self.steps = 0
+        self._pending_target = None
+        self._pending_delay = 0
+
+    # -- registers ---------------------------------------------------
+
+    def get_reg(self, name):
+        reg = self.isa.lookup_reg(name)
+        if reg is None:
+            raise ExecutionError(f"unknown register {name!r}")
+        if reg.hardwired is not None:
+            return wordops.mask(reg.hardwired, self.isa.word_bits)
+        return self.regs[reg.name]
+
+    def set_reg(self, name, value):
+        reg = self.isa.lookup_reg(name)
+        if reg is None:
+            raise ExecutionError(f"unknown register {name!r}")
+        if reg.hardwired is not None:
+            return  # writes to hardwired registers are discarded
+        self.regs[reg.name] = wordops.mask(value, self.isa.word_bits)
+
+    # -- control flow ------------------------------------------------
+
+    def branch(self, target, delay=0):
+        """Transfer control to instruction index *target* after *delay*
+        further instructions (SPARC-style delay slots)."""
+        if not isinstance(target, int):
+            raise ExecutionError(f"unresolved branch target {target!r}")
+        if delay <= 0:
+            self.pc = target
+        else:
+            self._pending_target = target
+            # +1 because the run loop decrements once at the end of the
+            # branching instruction itself.
+            self._pending_delay = delay + 1
+
+    def compare_signed(self, a, b):
+        a = wordops.to_signed(a, self.isa.word_bits)
+        b = wordops.to_signed(b, self.isa.word_bits)
+        self.cc = {"lt": a < b, "eq": a == b, "gt": a > b}
+
+
+# -- operand access helpers (used by every target's semantics hooks) ---
+
+
+def effaddr(state, op):
+    """Effective address of a memory operand."""
+    if not isinstance(op, Mem):
+        raise ExecutionError(f"not a memory operand: {op!r}")
+    if not isinstance(op.disp, int):
+        raise ExecutionError(f"unresolved displacement {op.disp!r}")
+    base = state.get_reg(op.base) if op.base else 0
+    return wordops.mask(base + op.disp, state.isa.word_bits)
+
+
+def read(state, op, size=None):
+    """Read the value of an operand (register, immediate, or memory)."""
+    if isinstance(op, Reg):
+        return state.get_reg(op.name)
+    if isinstance(op, Imm):
+        if not isinstance(op.value, int):
+            raise ExecutionError(f"unresolved immediate {op.value!r}")
+        return wordops.mask(op.value, state.isa.word_bits)
+    if isinstance(op, Mem):
+        return state.mem.load(effaddr(state, op), size or state.isa.word_bytes)
+    if isinstance(op, Lab):
+        if not isinstance(op.target, int):
+            raise ExecutionError(f"unresolved label {op.target!r}")
+        return op.target
+    raise ExecutionError(f"cannot read operand {op!r}")
+
+
+def write(state, op, value, size=None):
+    """Write *value* to a register or memory operand."""
+    if isinstance(op, Reg):
+        state.set_reg(op.name, value)
+    elif isinstance(op, Mem):
+        state.mem.store(effaddr(state, op), value, size or state.isa.word_bytes)
+    else:
+        raise ExecutionError(f"cannot write operand {op!r}")
+
+
+def run(program, fuel=DEFAULT_FUEL):
+    """Execute a linked program; never raises, returns :class:`ExecResult`."""
+    isa = program.isa
+    state = ExecState(isa, program.memory_image.copy())
+    state.set_reg(isa.abi.stack_pointer, isa.stack_start)
+    try:
+        entry = program.labels["main"]
+    except KeyError:
+        return ExecResult(output="", error="undefined entry point 'main'")
+    isa.abi.setup_entry(state, entry, HALT_INDEX)
+    try:
+        _run_loop(program, state, fuel)
+    except ExecutionError as exc:
+        return ExecResult(
+            output="".join(state.output),
+            exit_code=state.exit_code,
+            steps=state.steps,
+            error=str(exc),
+        )
+    return ExecResult(
+        output="".join(state.output),
+        exit_code=state.exit_code,
+        steps=state.steps,
+        error=None,
+    )
+
+
+def _run_loop(program, state, fuel):
+    instrs = program.instrs
+    builtins = program.builtins
+    while not state.halted:
+        state.steps += 1
+        if state.steps > fuel:
+            raise ExecutionError("out of fuel (runaway execution)")
+        pc = state.pc
+        if pc == HALT_INDEX:
+            state.halted = True
+            break
+        if pc < 0:
+            handler = builtins.get(pc)
+            if handler is None:
+                raise ExecutionError(f"jump to invalid builtin index {pc}")
+            handler(state)
+            state.isa.abi.do_return(state)
+            continue
+        if pc >= len(instrs):
+            raise ExecutionError(f"execution fell off the program (pc={pc})")
+        instr = instrs[pc]
+        state.pc = pc + 1
+        instr.form.execute(state, instr.operands)
+        if state._pending_target is not None:
+            state._pending_delay -= 1
+            if state._pending_delay <= 0:
+                state.pc = state._pending_target
+                state._pending_target = None

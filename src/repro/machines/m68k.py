@@ -1,0 +1,291 @@
+"""Simulated Motorola 68000-style target (big-endian, 32-bit).
+
+This sixth architecture is NOT one of the paper's five: it exists to
+demonstrate the paper's generality claim -- the discovery unit handles
+it without modification.  It contributes fresh diversity: ``|``
+comments, ``#`` immediates, dotted mnemonics (``move.l``), two-address
+arithmetic with the destination last, data/address register files with
+bare names (``d0``/``a6``), ``link``/``unlk`` stack frames, and shift
+instructions whose immediate count is restricted to [1, 8].
+
+Simplifications vs. real hardware: ``divs.l`` is a plain 32-bit divide
+(no 64-bit dividend or condition-code subtleties) and there is no
+remainder instruction (the compiler expands ``%``), no pre-decrement
+addressing (pushes are an explicit ``sub.l``/``move.l`` pair).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro import wordops
+from repro.errors import ExecutionError
+from repro.machines.executor import effaddr, read, write
+from repro.machines.isa import Abi, InstrDef, InstrForm, Isa, RegisterDef, SyntaxDef
+from repro.machines.operands import Bare, Imm, Mem, Reg, Sym
+
+WORD = 32
+
+REGISTER_NAMES = tuple(f"d{n}" for n in range(8)) + tuple(f"a{n}" for n in range(8)) + (
+    "fp",
+    "sp",
+)
+
+_MEM_RE = re.compile(r"^(-?\w*)\((\w+)\)$")
+_ID_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+DATA_REGS = {f"d{n}" for n in range(8)}
+
+
+class M68kSyntax(SyntaxDef):
+    comment_char = "|"
+    literal_bases = {"": 10, "0x": 16}
+
+    def parse_operand(self, text):
+        text = text.strip()
+        if not text:
+            raise ValueError("empty operand")
+        if text in REGISTER_NAMES:
+            return Reg(text)
+        if text.startswith("#"):
+            body = text[1:]
+            value = self.parse_int(body)
+            if value is not None:
+                return Imm(value)
+            if _ID_RE.match(body):
+                return Imm(Sym(body))
+            raise ValueError(f"malformed immediate {text!r}")
+        match = _MEM_RE.match(text)
+        if match:
+            disp_text, base = match.group(1), match.group(2)
+            if base not in REGISTER_NAMES:
+                raise ValueError(f"unknown base register {base!r}")
+            disp = 0 if disp_text == "" else self.parse_int(disp_text)
+            if disp is None:
+                raise ValueError(f"malformed displacement in {text!r}")
+            return Mem(disp, base)
+        value = self.parse_int(text)
+        if value is not None:
+            return Mem(value, None)  # absolute address
+        if _ID_RE.match(text):
+            return Bare(text)
+        raise ValueError(f"malformed operand {text!r}")
+
+    def render_operand(self, op):
+        if isinstance(op, Reg):
+            return op.name
+        if isinstance(op, Imm):
+            return f"#{op.value}" if isinstance(op.value, int) else f"#{op.value.name}"
+        if isinstance(op, Mem):
+            disp = op.disp if isinstance(op.disp, int) else op.disp.name
+            if op.base is None:
+                return str(disp)
+            return f"{disp}({op.base})"
+        return str(getattr(op, "target", getattr(op, "name", op)))
+
+
+def _move(state, ops):
+    write(state, ops[1], read(state, ops[0]))
+
+
+def _move_byte(state, ops):
+    # move.b writes only the low byte of a data register.
+    byte = state.mem.load(effaddr(state, ops[0]), 1)
+    old = read(state, ops[1])
+    write(state, ops[1], (old & ~0xFF) | byte)
+
+
+def _clr(state, ops):
+    write(state, ops[0], 0)
+
+
+def _arith(fn, check_zero=False, dreg_dst=False):
+    def execute(state, ops):
+        src = read(state, ops[0])
+        dst = read(state, ops[1])
+        if check_zero and wordops.mask(src, WORD) == 0:
+            raise ExecutionError("division by zero")
+        write(state, ops[1], fn(dst, src, WORD))
+
+    return execute
+
+
+def _shift(fn):
+    def execute(state, ops):
+        count = read(state, ops[0]) % 64  # the 68000 takes counts mod 64
+        dst = read(state, ops[1])
+        write(state, ops[1], fn(dst, count, WORD))
+
+    return execute
+
+
+def _neg(state, ops):
+    write(state, ops[0], wordops.neg(read(state, ops[0]), WORD))
+
+
+def _not(state, ops):
+    write(state, ops[0], wordops.bit_not(read(state, ops[0]), WORD))
+
+
+def _tst(state, ops):
+    state.compare_signed(read(state, ops[0]), 0)
+
+
+def _cmp(state, ops):
+    # cmp.l src, dst sets condition codes from dst - src.
+    state.compare_signed(read(state, ops[1]), read(state, ops[0]))
+
+
+def _branch(cond):
+    def execute(state, ops):
+        if cond(state.cc):
+            state.branch(read(state, ops[0]))
+
+    return execute
+
+
+def _bra(state, ops):
+    state.branch(read(state, ops[0]))
+
+
+def _jsr(state, ops):
+    sp = state.get_reg("sp") - 4
+    state.set_reg("sp", sp)
+    state.mem.store(sp, state.pc, 4)
+    state.branch(read(state, ops[0]))
+
+
+def _rts(state, ops):
+    sp = state.get_reg("sp")
+    target = state.mem.load(sp, 4)
+    state.set_reg("sp", sp + 4)
+    state.branch(wordops.to_signed(target, WORD))
+
+
+def _link(state, ops):
+    # link An, #disp: push An; An := sp; sp := sp + disp (disp < 0).
+    reg = ops[0].name
+    sp = state.get_reg("sp") - 4
+    state.mem.store(sp, state.get_reg(reg), 4)
+    state.set_reg(reg, sp)
+    state.set_reg("sp", wordops.add(sp, read(state, ops[1]), WORD))
+
+
+def _unlk(state, ops):
+    reg = ops[0].name
+    frame = state.get_reg(reg)
+    state.set_reg(reg, state.mem.load(frame, 4))
+    state.set_reg("sp", frame + 4)
+
+
+def _nop(state, ops):
+    pass
+
+
+class M68kAbi(Abi):
+    stack_pointer = "sp"
+
+    def get_arg(self, state, index):
+        sp = state.get_reg("sp")
+        return state.mem.load(sp + 4 + 4 * index, 4)
+
+    def set_retval(self, state, value):
+        state.set_reg("d0", value)
+
+    def do_return(self, state):
+        _rts(state, [])
+
+    def setup_entry(self, state, entry_index, halt_index):
+        sp = state.get_reg("sp") - 4
+        state.set_reg("sp", sp)
+        state.mem.store(sp, wordops.mask(halt_index, WORD), 4)
+        state.pc = entry_index
+
+
+SHIFT_IMM = (1, 8)
+RM = "rm"
+SRC = "rim"
+
+
+def build_isa():
+    registers = [RegisterDef(f"d{n}", klass="data") for n in range(8)]
+    registers += [RegisterDef(f"a{n}", klass="addr") for n in range(6)]
+    registers.append(RegisterDef("a6", aliases=("fp",), klass="addr", allocatable=False))
+    registers.append(RegisterDef("a7", aliases=("sp",), klass="addr", allocatable=False))
+
+    instructions = {}
+
+    def define(mnemonic, *forms):
+        instructions[mnemonic] = InstrDef(mnemonic, list(forms))
+
+    define("move.l", InstrForm((SRC, RM), _move))
+    define("move.b", InstrForm(("m", "r"), _move_byte, reg_constraints={1: DATA_REGS}))
+    define("clr.l", InstrForm((RM,), _clr))
+    for mnemonic, fn, zero in [
+        ("add.l", wordops.add, False),
+        ("sub.l", wordops.sub, False),
+        ("and.l", lambda a, b, w: a & b, False),
+        ("or.l", lambda a, b, w: a | b, False),
+        ("eor.l", lambda a, b, w: a ^ b, False),
+    ]:
+        define(mnemonic, InstrForm((SRC, RM), _arith(fn, check_zero=zero)))
+    define(
+        "muls.l",
+        InstrForm((SRC, "r"), _arith(wordops.mul), reg_constraints={1: DATA_REGS}),
+    )
+    define(
+        "divs.l",
+        InstrForm(
+            (SRC, "r"),
+            _arith(wordops.sdiv, check_zero=True),
+            reg_constraints={1: DATA_REGS},
+        ),
+    )
+    for mnemonic, fn in [
+        ("lsl.l", wordops.shl),
+        ("asr.l", wordops.shr_arith),
+        ("lsr.l", wordops.shr_logical),
+    ]:
+        define(
+            mnemonic,
+            InstrForm(
+                ("i", "r"),
+                _shift(fn),
+                imm_ranges={0: SHIFT_IMM},
+                reg_constraints={1: DATA_REGS},
+            ),
+            InstrForm(
+                ("r", "r"),
+                _shift(fn),
+                reg_constraints={0: DATA_REGS, 1: DATA_REGS},
+            ),
+        )
+    define("neg.l", InstrForm((RM,), _neg))
+    define("not.l", InstrForm((RM,), _not))
+    define("tst.l", InstrForm((SRC,), _tst))
+    define("cmp.l", InstrForm((SRC, "r"), _cmp))
+    define("beq", InstrForm(("l",), _branch(lambda cc: cc["eq"])))
+    define("bne", InstrForm(("l",), _branch(lambda cc: not cc["eq"])))
+    define("blt", InstrForm(("l",), _branch(lambda cc: cc["lt"])))
+    define("ble", InstrForm(("l",), _branch(lambda cc: cc["lt"] or cc["eq"])))
+    define("bgt", InstrForm(("l",), _branch(lambda cc: cc["gt"])))
+    define("bge", InstrForm(("l",), _branch(lambda cc: cc["gt"] or cc["eq"])))
+    define("bra", InstrForm(("l",), _bra))
+    define("jsr", InstrForm(("l",), _jsr))
+    define("rts", InstrForm((), _rts))
+    define("link", InstrForm(("r", "i"), _link))
+    define("unlk", InstrForm(("r",), _unlk))
+    define("nop", InstrForm((), _nop))
+
+    return Isa(
+        name="m68k",
+        word_bits=WORD,
+        endian="big",
+        registers=registers,
+        instructions=instructions,
+        syntax=M68kSyntax(),
+        abi=M68kAbi(),
+        int_size=4,
+        pointer_size=4,
+        call_mnemonics=("jsr",),
+    )

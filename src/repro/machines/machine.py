@@ -1,0 +1,196 @@
+"""The remote-target façade the discovery unit talks to.
+
+In the paper the user supplies "the internet address of the target
+machine and the command-lines by which the C compiler, assembler, and
+linker are invoked"; everything else happens over ``rsh``.
+:class:`RemoteMachine` plays that role here.  Its surface is deliberately
+narrow and opaque -- compile C to assembly text, assemble text to an
+opaque object handle, link handles to an opaque executable handle,
+execute -- so the discovery unit can only learn what the paper's system
+could learn.
+
+Invocation counters are kept per machine so benchmarks can report how
+many target interactions (especially executions, the expensive mutation
+currency) an analysis costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LinkerError
+from repro.machines import alpha, m68k, mips, sparc, vax, x86
+from repro.machines.assembler import Assembler
+from repro.machines.executor import run as execute_program
+from repro.machines.linker import link as link_objects
+from repro.machines.runtime import sparc_runtime, standard_runtime
+
+_TARGETS = {
+    "x86": (x86.build_isa, standard_runtime),
+    "mips": (mips.build_isa, standard_runtime),
+    "sparc": (sparc.build_isa, sparc_runtime),
+    "alpha": (alpha.build_isa, standard_runtime),
+    "vax": (vax.build_isa, standard_runtime),
+    "m68k": (m68k.build_isa, standard_runtime),
+}
+
+
+def target_names():
+    """Names of all simulated targets."""
+    return sorted(_TARGETS)
+
+
+@dataclass(frozen=True)
+class Toolchain:
+    """The command lines of paper section 2, kept for fidelity of the
+    user-facing story (they select which simulated tool runs)."""
+
+    host: str = "kea.cs.auckland.ac.nz"
+    cc: str = "cc -S -O %o %i"
+    asm: str = "as -o %o %i"
+    ld: str = "ld -o %o %i"
+
+
+class ObjectHandle:
+    """Opaque handle for an assembled object file."""
+
+    __slots__ = ("_obj",)
+
+    def __init__(self, obj):
+        self._obj = obj
+
+    def __repr__(self):
+        return f"<object {self._obj.isa_name} {len(self._obj.instrs)} instrs>"
+
+
+class ExecutableHandle:
+    """Opaque handle for a linked program."""
+
+    __slots__ = ("_program",)
+
+    def __init__(self, program):
+        self._program = program
+
+    def __repr__(self):
+        return f"<a.out {self._program.isa.name} {len(self._program.instrs)} instrs>"
+
+
+@dataclass
+class MachineStats:
+    """Counts of target interactions (the paper's dominant cost)."""
+
+    compilations: int = 0
+    assemblies: int = 0
+    assembly_errors: int = 0
+    links: int = 0
+    executions: int = 0
+
+    def snapshot(self):
+        return MachineStats(
+            self.compilations,
+            self.assemblies,
+            self.assembly_errors,
+            self.links,
+            self.executions,
+        )
+
+
+@dataclass
+class _Session:
+    stats: MachineStats = field(default_factory=MachineStats)
+
+
+class RemoteMachine:
+    """A simulated target host reachable "over the network".
+
+    The four verbs mirror the tools the paper requires of a target:
+    an assembly-producing C compiler, an assembler that flags illegal
+    input, a linker, and remote execution.
+    """
+
+    def __init__(self, target, toolchain=None, fuel=500_000):
+        if target not in _TARGETS:
+            raise ValueError(f"unknown target {target!r}; have {target_names()}")
+        build_isa, build_runtime = _TARGETS[target]
+        self.target = target
+        self.toolchain = toolchain or Toolchain()
+        self.fuel = fuel
+        self._isa = build_isa()
+        self._runtime = build_runtime()
+        self._assembler = Assembler(self._isa)
+        self._codegen = None
+        self.stats = MachineStats()
+
+    # -- the four remote verbs ----------------------------------------
+
+    def compile_c(self, source, headers=None):
+        """Run the native C compiler: C source text -> assembly text.
+
+        ``headers`` maps include names to their text (for ``#include
+        "init.h"`` in the paper's Figure 3 samples).
+        Raises :class:`~repro.errors.CompilerError` on bad programs.
+        """
+        self.stats.compilations += 1
+        return self._get_codegen().compile(source, headers or {})
+
+    def assemble(self, asm_text):
+        """Run the native assembler; raises
+        :class:`~repro.errors.AssemblerError` on illegal input."""
+        self.stats.assemblies += 1
+        try:
+            return ObjectHandle(self._assembler.assemble(asm_text))
+        except Exception:
+            self.stats.assembly_errors += 1
+            raise
+
+    def assembles_ok(self, asm_text):
+        """Accept/reject probe: does the assembler take this program?"""
+        from repro.errors import AssemblerError
+
+        try:
+            self.assemble(asm_text)
+        except AssemblerError:
+            return False
+        return True
+
+    def link(self, objects):
+        """Run the native linker over object handles."""
+        self.stats.links += 1
+        objs = []
+        for handle in objects:
+            if not isinstance(handle, ObjectHandle):
+                raise LinkerError(f"not an object handle: {handle!r}")
+            objs.append(handle._obj)
+        return ExecutableHandle(link_objects(objs, self._isa, self._runtime))
+
+    def execute(self, executable):
+        """Run the program "remotely"; returns
+        :class:`~repro.machines.executor.ExecResult` (never raises)."""
+        self.stats.executions += 1
+        if not isinstance(executable, ExecutableHandle):
+            raise LinkerError(f"not an executable handle: {executable!r}")
+        return execute_program(executable._program, fuel=self.fuel)
+
+    # -- conveniences --------------------------------------------------
+
+    def run_c(self, sources, headers=None):
+        """compile + assemble + link + execute a list of C sources."""
+        objects = [self.assemble(self.compile_c(src, headers)) for src in sources]
+        return self.execute(self.link(objects))
+
+    def run_asm(self, asm_texts):
+        """assemble + link + execute a list of assembly sources."""
+        objects = [self.assemble(text) for text in asm_texts]
+        return self.execute(self.link(objects))
+
+    def _get_codegen(self):
+        if self._codegen is None:
+            from repro.cc import compiler_for
+
+            self._codegen = compiler_for(self.target)
+        return self._codegen
+
+
+def make_machine(target, **kwargs):
+    """Factory used throughout tests, examples and benchmarks."""
+    return RemoteMachine(target, **kwargs)

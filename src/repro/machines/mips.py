@@ -1,0 +1,240 @@
+"""Simulated MIPS integer subset (big-endian, 32-bit).
+
+Matches the paper's MIPS samples (Figure 2, Figure 10a): ``lw``/``sw``
+with ``disp($sp)`` addressing and the three-operand ``mul`` pseudo
+instruction.  Compare-and-branch is a single instruction (``beq``,
+``blt``...), which is the paper's example of an intermediate-code
+``BranchEQ`` mapping directly onto one machine instruction.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro import wordops
+from repro.errors import ExecutionError
+from repro.machines.executor import effaddr, read, write
+from repro.machines.isa import Abi, InstrDef, InstrForm, Isa, RegisterDef, SyntaxDef
+from repro.machines.operands import Bare, Imm, Mem, Reg
+
+WORD = 32
+
+_REG_RE = re.compile(r"^\$(\d+|sp|fp|ra)$")
+_MEM_RE = re.compile(r"^(-?\w*)\((\$(?:\d+|sp|fp|ra))\)$")
+_ID_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+
+class MipsSyntax(SyntaxDef):
+    comment_char = "#"
+    literal_bases = {"": 10, "0x": 16}
+
+    def parse_operand(self, text):
+        text = text.strip()
+        if not text:
+            raise ValueError("empty operand")
+        if _REG_RE.match(text):
+            return Reg(text)
+        match = _MEM_RE.match(text)
+        if match:
+            disp_text, base = match.group(1), match.group(2)
+            disp = 0 if disp_text == "" else self.parse_int(disp_text)
+            if disp is None:
+                raise ValueError(f"malformed displacement in {text!r}")
+            return Mem(disp, base)
+        value = self.parse_int(text)
+        if value is not None:
+            return Imm(value)
+        if text.startswith("$"):
+            raise ValueError(f"malformed register {text!r}")
+        if _ID_RE.match(text):
+            return Bare(text)
+        raise ValueError(f"malformed operand {text!r}")
+
+    def render_operand(self, op):
+        if isinstance(op, Reg):
+            return op.name
+        if isinstance(op, Imm):
+            return str(op.value)
+        if isinstance(op, Mem):
+            disp = op.disp if isinstance(op.disp, int) else op.disp.name
+            return f"{disp}({op.base})"
+        return str(getattr(op, "target", getattr(op, "name", op)))
+
+
+def _lw(state, ops):
+    write(state, ops[0], state.mem.load(effaddr(state, ops[1]), 4))
+
+
+def _lbu(state, ops):
+    write(state, ops[0], state.mem.load(effaddr(state, ops[1]), 1))
+
+
+def _sw(state, ops):
+    state.mem.store(effaddr(state, ops[1]), read(state, ops[0]), 4)
+
+
+def _li(state, ops):
+    write(state, ops[0], read(state, ops[1]))
+
+
+def _la(state, ops):
+    write(state, ops[0], read(state, ops[1]))  # label resolved to an address
+
+
+def _move(state, ops):
+    write(state, ops[0], read(state, ops[1]))
+
+
+def _binop(fn, check_zero=False):
+    def execute(state, ops):
+        a = read(state, ops[1])
+        b = read(state, ops[2])
+        if check_zero and wordops.mask(b, WORD) == 0:
+            raise ExecutionError("division by zero")
+        write(state, ops[0], fn(a, b, WORD))
+
+    return execute
+
+
+def _unop(fn):
+    def execute(state, ops):
+        write(state, ops[0], fn(read(state, ops[1]), WORD))
+
+    return execute
+
+
+def _slt(state, ops):
+    a = wordops.to_signed(read(state, ops[1]), WORD)
+    b = wordops.to_signed(read(state, ops[2]), WORD)
+    write(state, ops[0], 1 if a < b else 0)
+
+
+def _cond_branch(cond):
+    def execute(state, ops):
+        a = wordops.to_signed(read(state, ops[0]), WORD)
+        b = wordops.to_signed(read(state, ops[1]), WORD)
+        if cond(a, b):
+            state.branch(read(state, ops[2]))
+
+    return execute
+
+
+def _j(state, ops):
+    state.branch(read(state, ops[0]))
+
+
+def _jal(state, ops):
+    state.set_reg("$31", state.pc)
+    state.branch(read(state, ops[0]))
+
+
+def _jr(state, ops):
+    state.branch(wordops.to_signed(read(state, ops[0]), WORD))
+
+
+def _nop(state, ops):
+    pass
+
+
+class MipsAbi(Abi):
+    stack_pointer = "$29"
+
+    def get_arg(self, state, index):
+        if index < 4:
+            return state.get_reg(f"${4 + index}")
+        sp = state.get_reg("$29")
+        return state.mem.load(sp + 4 * (index - 4), 4)
+
+    def set_retval(self, state, value):
+        state.set_reg("$2", value)
+
+    def do_return(self, state):
+        state.branch(wordops.to_signed(state.get_reg("$31"), WORD))
+
+    def setup_entry(self, state, entry_index, halt_index):
+        state.set_reg("$31", halt_index)
+        state.pc = entry_index
+
+
+IMM16 = (-32768, 32767)
+UIMM16 = (0, 65535)
+
+
+def build_isa():
+    registers = [RegisterDef("$0", hardwired=0, allocatable=False)]
+    for n in range(1, 32):
+        aliases = {29: ("$sp",), 30: ("$fp",), 31: ("$ra",)}.get(n, ())
+        allocatable = 8 <= n <= 25
+        registers.append(RegisterDef(f"${n}", aliases=aliases, allocatable=allocatable))
+
+    instructions = {}
+
+    def define(mnemonic, *forms):
+        instructions[mnemonic] = InstrDef(mnemonic, list(forms))
+
+    define("lw", InstrForm(("r", "m"), _lw))
+    define("lbu", InstrForm(("r", "m"), _lbu))
+    define("sw", InstrForm(("r", "m"), _sw))
+    define("li", InstrForm(("r", "i"), _li))
+    define("la", InstrForm(("r", "l"), _la))
+    define("move", InstrForm(("r", "r"), _move))
+    for mnemonic, fn in [
+        ("addu", wordops.add),
+        ("subu", wordops.sub),
+        ("mul", wordops.mul),
+        ("and", lambda a, b, w: a & b),
+        ("or", lambda a, b, w: a | b),
+        ("xor", lambda a, b, w: a ^ b),
+    ]:
+        define(mnemonic, InstrForm(("r", "r", "r"), _binop(fn)))
+    define("div", InstrForm(("r", "r", "r"), _binop(wordops.sdiv, check_zero=True)))
+    define("rem", InstrForm(("r", "r", "r"), _binop(wordops.smod, check_zero=True)))
+    define(
+        "addiu",
+        InstrForm(("r", "r", "i"), _binop(wordops.add), imm_ranges={2: IMM16}),
+    )
+    for mnemonic, fn in [
+        ("andi", lambda a, b, w: a & b),
+        ("ori", lambda a, b, w: a | b),
+        ("xori", lambda a, b, w: a ^ b),
+    ]:
+        define(
+            mnemonic,
+            InstrForm(("r", "r", "i"), _binop(fn), imm_ranges={2: UIMM16}),
+        )
+    for mnemonic, fn in [
+        ("sll", wordops.shl),
+        ("srl", wordops.shr_logical),
+        ("sra", wordops.shr_arith),
+    ]:
+        define(
+            mnemonic,
+            InstrForm(("r", "r", "i"), _binop(fn), imm_ranges={2: (0, 31)}),
+            InstrForm(("r", "r", "r"), _binop(fn)),
+        )
+    define("negu", InstrForm(("r", "r"), _unop(wordops.neg)))
+    define("not", InstrForm(("r", "r"), _unop(wordops.bit_not)))
+    define("slt", InstrForm(("r", "r", "r"), _slt))
+    define("beq", InstrForm(("r", "r", "l"), _cond_branch(lambda a, b: a == b)))
+    define("bne", InstrForm(("r", "r", "l"), _cond_branch(lambda a, b: a != b)))
+    define("blt", InstrForm(("r", "r", "l"), _cond_branch(lambda a, b: a < b)))
+    define("ble", InstrForm(("r", "r", "l"), _cond_branch(lambda a, b: a <= b)))
+    define("bgt", InstrForm(("r", "r", "l"), _cond_branch(lambda a, b: a > b)))
+    define("bge", InstrForm(("r", "r", "l"), _cond_branch(lambda a, b: a >= b)))
+    define("j", InstrForm(("l",), _j))
+    define("jal", InstrForm(("l",), _jal))
+    define("jr", InstrForm(("r",), _jr))
+    define("nop", InstrForm((), _nop))
+
+    return Isa(
+        name="mips",
+        word_bits=WORD,
+        endian="big",
+        registers=registers,
+        instructions=instructions,
+        syntax=MipsSyntax(),
+        abi=MipsAbi(),
+        int_size=4,
+        pointer_size=4,
+        call_mnemonics=("jal",),
+    )

@@ -1,0 +1,125 @@
+"""Operand model shared by the assemblers and executors.
+
+Pre-link, immediate and displacement fields may hold a :class:`Sym`
+(a symbolic reference to a label); the linker replaces these with
+concrete integers (data addresses or instruction indices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Sym:
+    """A symbolic reference to a label, resolved by the linker."""
+
+    name: str
+
+    def __repr__(self):
+        return f"Sym({self.name})"
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand."""
+
+    name: str
+
+    def __repr__(self):
+        return f"Reg({self.name})"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand; ``value`` is an int or a :class:`Sym`."""
+
+    value: object
+
+    def __repr__(self):
+        return f"Imm({self.value})"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``disp(base)`` with optional parts.
+
+    ``disp`` is an int or :class:`Sym`; ``base`` is a register name or
+    ``None`` for absolute addressing.
+    """
+
+    disp: object = 0
+    base: str | None = None
+
+    def __repr__(self):
+        return f"Mem({self.disp}, base={self.base})"
+
+
+@dataclass(frozen=True)
+class Lab:
+    """A code label operand (branch or call target).
+
+    ``target`` is a :class:`Sym` before linking and an instruction index
+    (or negative builtin id) afterwards.
+    """
+
+    target: object
+
+    def __repr__(self):
+        return f"Lab({self.target})"
+
+
+@dataclass(frozen=True)
+class Bare:
+    """A bare identifier whose meaning depends on instruction context.
+
+    ``jmp L2`` makes it a code label; ``movl z1, %eax`` makes it an
+    absolute memory reference to a global.  The assembler coerces it per
+    the instruction form it is matching against.
+    """
+
+    name: str
+
+
+def operand_kind(op):
+    """Single-letter signature code for *op*: r/i/m/l."""
+    if isinstance(op, Reg):
+        return "r"
+    if isinstance(op, Imm):
+        return "i"
+    if isinstance(op, Mem):
+        return "m"
+    if isinstance(op, Lab):
+        return "l"
+    raise TypeError(f"not an operand: {op!r}")
+
+
+def coerce_to_signature(operands, signature):
+    """Match operands against a signature, resolving :class:`Bare` items.
+
+    A signature is a tuple of strings, one per operand; each string lists
+    the accepted kind letters (e.g. ``("ri", "r")`` is "register or
+    immediate, then register").  Returns the (possibly coerced) operand
+    list, or ``None`` if the operands do not fit.
+    """
+    if len(operands) != len(signature):
+        return None
+    result = []
+    for op, codes in zip(operands, signature):
+        if isinstance(op, Bare):
+            if "l" in codes:
+                result.append(Lab(Sym(op.name)))
+            elif "m" in codes:
+                result.append(Mem(Sym(op.name), None))
+            else:
+                return None
+        elif operand_kind(op) in codes:
+            result.append(op)
+        else:
+            return None
+    return result
+
+
+def matches_signature(operands, signature):
+    """Check a list of operands against a signature (no Bare coercion)."""
+    return coerce_to_signature(operands, signature) is not None

@@ -1,0 +1,88 @@
+"""Runtime builtins available on every simulated target.
+
+These stand in for libc and the compiler support library: ``printf`` and
+``exit`` (every sample uses both, as in paper Figure 3), and the SPARC's
+software arithmetic routines ``.mul``/``.div``/``.rem`` (paper Figure
+15(e) shows the discovered rule for ``call .mul``).
+"""
+
+from __future__ import annotations
+
+from repro import wordops
+from repro.errors import ExecutionError
+
+
+def builtin_printf(state, abi, isa):
+    """Minimal printf: %i/%d (signed), %u, %x, %c, %s, %%."""
+    fmt_addr = abi.get_arg(state, 0)
+    fmt = state.mem.load_cstring(fmt_addr)
+    out = []
+    arg_index = 1
+    i = 0
+    while i < len(fmt):
+        ch = fmt[i]
+        if ch != "%":
+            out.append(ch)
+            i += 1
+            continue
+        i += 1
+        if i >= len(fmt):
+            raise ExecutionError("printf: trailing %")
+        spec = fmt[i]
+        i += 1
+        if spec == "%":
+            out.append("%")
+            continue
+        value = abi.get_arg(state, arg_index)
+        arg_index += 1
+        if spec in ("i", "d"):
+            out.append(str(wordops.to_signed(value, isa.word_bits)))
+        elif spec == "u":
+            out.append(str(wordops.mask(value, isa.word_bits)))
+        elif spec == "x":
+            out.append(format(wordops.mask(value, isa.word_bits), "x"))
+        elif spec == "c":
+            out.append(chr(value & 0xFF))
+        elif spec == "s":
+            out.append(state.mem.load_cstring(value))
+        else:
+            raise ExecutionError(f"printf: unsupported conversion %{spec}")
+    state.output.append("".join(out))
+    abi.set_retval(state, len(out))
+
+
+def builtin_exit(state, abi, isa):
+    state.exit_code = wordops.to_signed(abi.get_arg(state, 0), isa.word_bits)
+    state.halted = True
+
+
+def _software_binop(op):
+    def builtin(state, abi, isa):
+        bits = isa.word_bits
+        a = abi.get_arg(state, 0)
+        b = abi.get_arg(state, 1)
+        if op in ("div", "rem") and wordops.mask(b, bits) == 0:
+            raise ExecutionError(f"software {op}: division by zero")
+        if op == "mul":
+            result = wordops.mul(a, b, bits)
+        elif op == "div":
+            result = wordops.sdiv(a, b, bits)
+        else:
+            result = wordops.smod(a, b, bits)
+        abi.set_retval(state, result)
+
+    return builtin
+
+
+def standard_runtime():
+    """Builtins present on every target."""
+    return {"printf": builtin_printf, "exit": builtin_exit}
+
+
+def sparc_runtime():
+    """SPARC adds the software integer arithmetic routines."""
+    runtime = standard_runtime()
+    runtime[".mul"] = _software_binop("mul")
+    runtime[".div"] = _software_binop("div")
+    runtime[".rem"] = _software_binop("rem")
+    return runtime

@@ -1,0 +1,239 @@
+"""Simulated Sun SPARC integer subset (big-endian, 32-bit).
+
+Keeps the features the paper's analyses interact with: a hardwired
+``%g0``, procedure actuals passed in ``%o0..%o5`` (implicit call
+arguments, Figure 4a), a one-instruction delay slot after ``call``
+(Figure 4c), 13-bit signed immediates ``[-4096, 4095]`` (the paper's
+immediate-range discovery result), ``cmp`` + conditional branch pairs
+(Figure 15d), and software multiplication via ``call .mul`` with implicit
+``%o0``/``%o1`` inputs and ``%o0`` output (Figure 15e).
+
+Simplification vs. real hardware: no register windows -- ``%sp``/``%fp``
+form conventional flat frames -- and only ``call`` is delayed, not the
+conditional branches.  Neither simplification touches the analyses above.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro import wordops
+from repro.machines.executor import effaddr, read, write
+from repro.machines.isa import Abi, InstrDef, InstrForm, Isa, RegisterDef, SyntaxDef
+from repro.machines.operands import Bare, Imm, Mem, Reg
+
+WORD = 32
+IMM13 = (-4096, 4095)
+
+_REG_RE = re.compile(r"^%(g[0-7]|o[0-7]|l[0-7]|i[0-7]|sp|fp)$")
+_MEM_RE = re.compile(r"^\[\s*(%\w+)\s*(?:\+\s*(-?\w+)|-\s*(\w+))?\s*\]$")
+_ID_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+
+class SparcSyntax(SyntaxDef):
+    comment_char = "!"
+    literal_bases = {"": 10, "0x": 16}
+
+    def parse_operand(self, text):
+        text = text.strip()
+        if not text:
+            raise ValueError("empty operand")
+        if text.startswith("%"):
+            if not _REG_RE.match(text):
+                raise ValueError(f"malformed register {text!r}")
+            return Reg(text)
+        match = _MEM_RE.match(text)
+        if match:
+            base = match.group(1)
+            if match.group(2) is not None:
+                disp = self.parse_int(match.group(2))
+            elif match.group(3) is not None:
+                disp = self.parse_int(match.group(3))
+                disp = -disp if disp is not None else None
+            else:
+                disp = 0
+            if disp is None:
+                raise ValueError(f"malformed displacement in {text!r}")
+            return Mem(disp, base)
+        value = self.parse_int(text)
+        if value is not None:
+            return Imm(value)
+        if _ID_RE.match(text):
+            return Bare(text)
+        raise ValueError(f"malformed operand {text!r}")
+
+    def render_operand(self, op):
+        if isinstance(op, Reg):
+            return op.name
+        if isinstance(op, Imm):
+            return str(op.value)
+        if isinstance(op, Mem):
+            disp = op.disp if isinstance(op.disp, int) else op.disp.name
+            if disp == 0:
+                return f"[{op.base}]"
+            return f"[{op.base}+{disp}]"
+        return str(getattr(op, "target", getattr(op, "name", op)))
+
+
+def _ld(state, ops):
+    write(state, ops[1], state.mem.load(effaddr(state, ops[0]), 4))
+
+
+def _ldub(state, ops):
+    write(state, ops[1], state.mem.load(effaddr(state, ops[0]), 1))
+
+
+def _st(state, ops):
+    state.mem.store(effaddr(state, ops[1]), read(state, ops[0]), 4)
+
+
+def _set(state, ops):
+    write(state, ops[1], read(state, ops[0]))
+
+
+def _mov(state, ops):
+    write(state, ops[1], read(state, ops[0]))
+
+
+def _binop(fn):
+    def execute(state, ops):
+        a = read(state, ops[0])
+        b = read(state, ops[1])
+        write(state, ops[2], fn(a, b, WORD))
+
+    return execute
+
+
+def _unop(fn):
+    def execute(state, ops):
+        write(state, ops[1], fn(read(state, ops[0]), WORD))
+
+    return execute
+
+
+def _cmp(state, ops):
+    state.compare_signed(read(state, ops[0]), read(state, ops[1]))
+
+
+def _branch(cond):
+    def execute(state, ops):
+        if cond(state.cc):
+            state.branch(read(state, ops[0]))
+
+    return execute
+
+
+def _ba(state, ops):
+    state.branch(read(state, ops[0]))
+
+
+def _call(state, ops):
+    # %o7 holds the return point: past the delay slot.  state.pc already
+    # indexes the delay-slot instruction here.
+    state.set_reg("%o7", state.pc + 1)
+    state.branch(read(state, ops[0]), delay=1)
+
+
+def _retl(state, ops):
+    state.branch(wordops.to_signed(state.get_reg("%o7"), WORD))
+
+
+def _jmpl_o7(state, ops):
+    state.branch(wordops.to_signed(read(state, ops[0]), WORD))
+
+
+def _nop(state, ops):
+    pass
+
+
+class SparcAbi(Abi):
+    stack_pointer = "%sp"
+
+    def get_arg(self, state, index):
+        if index < 6:
+            return state.get_reg(f"%o{index}")
+        sp = state.get_reg("%sp")
+        return state.mem.load(sp + 4 * (index - 6), 4)
+
+    def set_retval(self, state, value):
+        state.set_reg("%o0", value)
+
+    def do_return(self, state):
+        state.branch(wordops.to_signed(state.get_reg("%o7"), WORD))
+
+    def setup_entry(self, state, entry_index, halt_index):
+        state.set_reg("%o7", halt_index)
+        state.pc = entry_index
+
+
+def build_isa():
+    registers = [RegisterDef("%g0", hardwired=0, allocatable=False)]
+    registers += [RegisterDef(f"%g{n}") for n in range(1, 6)]
+    registers += [RegisterDef(f"%g{n}", allocatable=False) for n in (6, 7)]
+    registers += [RegisterDef(f"%o{n}", allocatable=False) for n in range(0, 6)]
+    registers.append(RegisterDef("%o6", aliases=("%sp",), allocatable=False))
+    registers.append(RegisterDef("%o7", allocatable=False))
+    registers += [RegisterDef(f"%l{n}") for n in range(0, 8)]
+    registers += [RegisterDef(f"%i{n}", allocatable=False) for n in range(0, 6)]
+    registers.append(RegisterDef("%i6", aliases=("%fp",), allocatable=False))
+    registers.append(RegisterDef("%i7", allocatable=False))
+
+    instructions = {}
+
+    def define(mnemonic, *forms):
+        instructions[mnemonic] = InstrDef(mnemonic, list(forms))
+
+    define("ld", InstrForm(("m", "r"), _ld))
+    define("ldub", InstrForm(("m", "r"), _ldub))
+    define("st", InstrForm(("r", "m"), _st))
+    define("set", InstrForm(("il", "r"), _set))
+    define("mov", InstrForm(("ri", "r"), _mov, imm_ranges={0: IMM13}))
+    for mnemonic, fn in [
+        ("add", wordops.add),
+        ("sub", wordops.sub),
+        ("and", lambda a, b, w: a & b),
+        ("or", lambda a, b, w: a | b),
+        ("xor", lambda a, b, w: a ^ b),
+        ("andn", lambda a, b, w: a & wordops.bit_not(b, w)),
+    ]:
+        define(
+            mnemonic,
+            InstrForm(("r", "ri", "r"), _binop(fn), imm_ranges={1: IMM13}),
+        )
+    for mnemonic, fn in [
+        ("sll", wordops.shl),
+        ("srl", wordops.shr_logical),
+        ("sra", wordops.shr_arith),
+    ]:
+        define(
+            mnemonic,
+            InstrForm(("r", "ri", "r"), _binop(fn), imm_ranges={1: (0, 31)}),
+        )
+    define("neg", InstrForm(("r", "r"), _unop(wordops.neg)))
+    define("not", InstrForm(("r", "r"), _unop(wordops.bit_not)))
+    define("cmp", InstrForm(("r", "ri"), _cmp, imm_ranges={1: IMM13}))
+    define("be", InstrForm(("l",), _branch(lambda cc: cc["eq"])))
+    define("bne", InstrForm(("l",), _branch(lambda cc: not cc["eq"])))
+    define("bl", InstrForm(("l",), _branch(lambda cc: cc["lt"])))
+    define("ble", InstrForm(("l",), _branch(lambda cc: cc["lt"] or cc["eq"])))
+    define("bg", InstrForm(("l",), _branch(lambda cc: cc["gt"])))
+    define("bge", InstrForm(("l",), _branch(lambda cc: cc["gt"] or cc["eq"])))
+    define("ba", InstrForm(("l",), _ba))
+    define("call", InstrForm(("l",), _call), InstrForm(("l", "i"), _call))
+    define("retl", InstrForm((), _retl))
+    define("jmp", InstrForm(("r",), _jmpl_o7))
+    define("nop", InstrForm((), _nop))
+
+    return Isa(
+        name="sparc",
+        word_bits=WORD,
+        endian="big",
+        registers=registers,
+        instructions=instructions,
+        syntax=SparcSyntax(),
+        abi=SparcAbi(),
+        int_size=4,
+        pointer_size=4,
+        call_mnemonics=("call",),
+        call_delay_slots=1,
+    )

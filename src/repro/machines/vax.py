@@ -1,0 +1,290 @@
+"""Simulated DEC VAX integer subset (little-endian, 32-bit CISC).
+
+The VAX contributes the paper's CISC shapes: memory-to-memory
+three-operand arithmetic (``addl3 -12(fp),-8(fp),-4(fp)``, Figure 3),
+use-def two-operand forms (``addl2``), ``tstl``+``jeql`` branching, and
+the arithmetic-shift instruction ``ashl`` whose direction depends on its
+count's sign -- which the paper's reverse interpreter (and ours) cannot
+express with its conditional-free primitives (section 5.2.3).
+
+Simplification vs. real hardware: ``calls`` pushes ``(count, return, ap,
+fp)`` without the register save mask, and operand addressing is limited
+to register / literal / displacement modes.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro import wordops
+from repro.errors import ExecutionError
+from repro.machines.executor import effaddr, read, write
+from repro.machines.isa import Abi, InstrDef, InstrForm, Isa, RegisterDef, SyntaxDef
+from repro.machines.operands import Bare, Imm, Mem, Reg, Sym
+
+WORD = 32
+
+_MEM_RE = re.compile(r"^(-?\w*)\((\w+)\)$")
+_ID_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+REGISTER_NAMES = tuple(f"r{n}" for n in range(12)) + ("ap", "fp", "sp")
+
+
+class VaxSyntax(SyntaxDef):
+    comment_char = "#"
+    literal_bases = {"": 10, "0x": 16}
+    hex_upper_ok = False
+
+    def parse_operand(self, text):
+        text = text.strip()
+        if not text:
+            raise ValueError("empty operand")
+        if text in REGISTER_NAMES:
+            return Reg(text)
+        if text.startswith("$"):
+            body = text[1:]
+            value = self.parse_int(body)
+            if value is not None:
+                return Imm(value)
+            if _ID_RE.match(body):
+                return Imm(Sym(body))
+            raise ValueError(f"malformed immediate {text!r}")
+        match = _MEM_RE.match(text)
+        if match:
+            disp_text, base = match.group(1), match.group(2)
+            if base not in REGISTER_NAMES:
+                raise ValueError(f"unknown base register {base!r}")
+            disp = 0 if disp_text == "" else self.parse_int(disp_text)
+            if disp is None:
+                raise ValueError(f"malformed displacement in {text!r}")
+            return Mem(disp, base)
+        value = self.parse_int(text)
+        if value is not None:
+            return Mem(value, None)  # absolute memory reference
+        if _ID_RE.match(text):
+            return Bare(text)
+        raise ValueError(f"malformed operand {text!r}")
+
+    def render_operand(self, op):
+        if isinstance(op, Reg):
+            return op.name
+        if isinstance(op, Imm):
+            return f"${op.value}" if isinstance(op.value, int) else f"${op.value.name}"
+        if isinstance(op, Mem):
+            disp = op.disp if isinstance(op.disp, int) else op.disp.name
+            if op.base is None:
+                return str(disp)
+            return f"{disp}({op.base})"
+        return str(getattr(op, "target", getattr(op, "name", op)))
+
+
+def _movl(state, ops):
+    write(state, ops[1], read(state, ops[0]))
+
+
+def _movzbl(state, ops):
+    value = state.mem.load(effaddr(state, ops[0]), 1)
+    write(state, ops[1], value)
+
+
+def _clrl(state, ops):
+    write(state, ops[0], 0)
+
+
+def _moval(state, ops):
+    write(state, ops[1], effaddr(state, ops[0]))
+
+
+def _pushl(state, ops):
+    sp = state.get_reg("sp") - 4
+    state.set_reg("sp", sp)
+    state.mem.store(sp, read(state, ops[0]), 4)
+
+
+def _tstl(state, ops):
+    state.compare_signed(read(state, ops[0]), 0)
+
+
+def _cmpl(state, ops):
+    # VAX: cmpl src1, src2 sets condition codes from src1 - src2.
+    state.compare_signed(read(state, ops[0]), read(state, ops[1]))
+
+
+def _op2(fn, swap=False, check_zero=False):
+    """Two-operand use-def form: dst = dst OP src (or src OP dst)."""
+
+    def execute(state, ops):
+        src = read(state, ops[0])
+        dst = read(state, ops[1])
+        a, b = (src, dst) if swap else (dst, src)
+        if check_zero and wordops.mask(b, WORD) == 0:
+            raise ExecutionError("division by zero")
+        write(state, ops[1], fn(a, b, WORD))
+
+    return execute
+
+
+def _op3(fn, swap=False, check_zero=False):
+    """Three-operand form; VAX subtract/divide reverse the operand roles:
+    ``subl3 sub, min, dif`` computes ``dif = min - sub``."""
+
+    def execute(state, ops):
+        first = read(state, ops[0])
+        second = read(state, ops[1])
+        a, b = (second, first) if swap else (first, second)
+        if check_zero and wordops.mask(b, WORD) == 0:
+            raise ExecutionError("division by zero")
+        write(state, ops[2], fn(a, b, WORD))
+
+    return execute
+
+
+def _mnegl(state, ops):
+    write(state, ops[1], wordops.neg(read(state, ops[0]), WORD))
+
+
+def _mcoml(state, ops):
+    write(state, ops[1], wordops.bit_not(read(state, ops[0]), WORD))
+
+
+def _ashl(state, ops):
+    count = wordops.to_signed(read(state, ops[0]), WORD)
+    src = read(state, ops[1])
+    if count >= 0:
+        result = wordops.shl(src, count % 32, WORD)
+    else:
+        result = wordops.shr_arith(src, (-count) % 32, WORD)
+    write(state, ops[2], result)
+
+
+def _branch(cond):
+    def execute(state, ops):
+        if cond(state.cc):
+            state.branch(read(state, ops[0]))
+
+    return execute
+
+
+def _jbr(state, ops):
+    state.branch(read(state, ops[0]))
+
+
+def _calls(state, ops):
+    count = read(state, ops[0])
+    target = read(state, ops[1])
+    sp = state.get_reg("sp")
+    for value in (count, state.pc, state.get_reg("ap"), state.get_reg("fp")):
+        sp -= 4
+        state.mem.store(sp, value, 4)
+    state.set_reg("sp", sp)
+    state.set_reg("fp", sp)
+    state.set_reg("ap", sp + 12)
+    state.branch(target)
+
+
+def _ret(state, ops):
+    sp = state.get_reg("fp")
+    fp = state.mem.load(sp, 4)
+    ap = state.mem.load(sp + 4, 4)
+    retaddr = state.mem.load(sp + 8, 4)
+    count = state.mem.load(sp + 12, 4)
+    state.set_reg("fp", fp)
+    state.set_reg("ap", ap)
+    state.set_reg("sp", sp + 16 + 4 * count)
+    state.branch(wordops.to_signed(retaddr, WORD))
+
+
+def _nop(state, ops):
+    pass
+
+
+class VaxAbi(Abi):
+    stack_pointer = "sp"
+
+    def get_arg(self, state, index):
+        ap = state.get_reg("ap")
+        return state.mem.load(ap + 4 + 4 * index, 4)
+
+    def set_retval(self, state, value):
+        state.set_reg("r0", value)
+
+    def do_return(self, state):
+        _ret(state, [])
+
+    def setup_entry(self, state, entry_index, halt_index):
+        # Simulate `calls $0, main` with a return landing on halt.
+        state.pc = halt_index
+        _calls(state, [  # operands: count, target
+            _const_operand(0),
+            _const_operand(entry_index),
+        ])
+
+
+def _const_operand(value):
+    return Imm(value)
+
+
+RM = "rm"
+SRC = "rim"
+
+
+def build_isa():
+    registers = [RegisterDef(f"r{n}", allocatable=(n <= 5)) for n in range(12)]
+    registers += [
+        RegisterDef("ap", allocatable=False),
+        RegisterDef("fp", allocatable=False),
+        RegisterDef("sp", allocatable=False),
+    ]
+
+    instructions = {}
+
+    def define(mnemonic, *forms):
+        instructions[mnemonic] = InstrDef(mnemonic, list(forms))
+
+    define("movl", InstrForm((SRC, RM), _movl))
+    define("movzbl", InstrForm(("m", RM), _movzbl))
+    define("clrl", InstrForm((RM,), _clrl))
+    define("moval", InstrForm(("m", RM), _moval))
+    define("pushl", InstrForm((SRC,), _pushl))
+    define("tstl", InstrForm((SRC,), _tstl))
+    define("cmpl", InstrForm((SRC, SRC), _cmpl))
+    # The 2-operand forms compute dst = dst OP src; the 3-operand
+    # subtract/divide/bit-clear forms reverse operand roles (``subl3
+    # sub, min, dif`` is ``dif = min - sub``), hence swap3.
+    for base, fn, swap3, zero in [
+        ("addl", wordops.add, False, False),
+        ("subl", wordops.sub, True, False),
+        ("mull", wordops.mul, False, False),
+        ("divl", wordops.sdiv, True, True),
+        ("bisl", lambda a, b, w: a | b, False, False),
+        ("xorl", lambda a, b, w: a ^ b, False, False),
+        ("bicl", lambda a, b, w: a & wordops.bit_not(b, w), True, False),
+    ]:
+        define(base + "2", InstrForm((SRC, RM), _op2(fn, check_zero=zero)))
+        define(base + "3", InstrForm((SRC, SRC, RM), _op3(fn, swap=swap3, check_zero=zero)))
+    define("mnegl", InstrForm((SRC, RM), _mnegl))
+    define("mcoml", InstrForm((SRC, RM), _mcoml))
+    define("ashl", InstrForm((SRC, SRC, RM), _ashl))
+    define("jeql", InstrForm(("l",), _branch(lambda cc: cc["eq"])))
+    define("jneq", InstrForm(("l",), _branch(lambda cc: not cc["eq"])))
+    define("jlss", InstrForm(("l",), _branch(lambda cc: cc["lt"])))
+    define("jleq", InstrForm(("l",), _branch(lambda cc: cc["lt"] or cc["eq"])))
+    define("jgtr", InstrForm(("l",), _branch(lambda cc: cc["gt"])))
+    define("jgeq", InstrForm(("l",), _branch(lambda cc: cc["gt"] or cc["eq"])))
+    define("jbr", InstrForm(("l",), _jbr))
+    define("calls", InstrForm(("i", "l"), _calls))
+    define("ret", InstrForm((), _ret))
+    define("nop", InstrForm((), _nop))
+
+    return Isa(
+        name="vax",
+        word_bits=WORD,
+        endian="little",
+        registers=registers,
+        instructions=instructions,
+        syntax=VaxSyntax(),
+        abi=VaxAbi(),
+        int_size=4,
+        pointer_size=4,
+        call_mnemonics=("calls",),
+    )

@@ -1,0 +1,13 @@
+"""``ac`` -- the self-retargeting compiler of paper Figure 1.
+
+A small imperative language ("A") compiled through the intermediate
+code of :mod:`repro.beg.ir`.  Its back ends are *generated*: running
+architecture discovery against a target yields a machine description,
+the BEG-like generator turns it into a code generator, and ``ac`` can
+then compile language-A programs to native code for that target --
+without anyone ever writing a machine description by hand.
+"""
+
+from repro.toyc.compiler import SelfRetargetingCompiler, compile_to_ir
+
+__all__ = ["SelfRetargetingCompiler", "compile_to_ir"]

@@ -1,0 +1,73 @@
+"""The self-retargeting compiler ``ac`` (paper Figure 1).
+
+``ac`` ships with no hand-written back ends.  ``retarget(machine)``
+points it at a machine -- the user supplies only the "internet address"
+(here: a RemoteMachine handle) -- and the integrated architecture
+discovery unit plus back-end generator produce a native code generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.beg.codegen import GeneratedBackend
+from repro.beg.ir import eval_program
+from repro.discovery.driver import ArchitectureDiscovery
+from repro.errors import ReproError
+from repro.toyc.frontend import parse
+
+
+def compile_to_ir(source):
+    """Front end only: language A -> intermediate code."""
+    return parse(source)
+
+
+@dataclass
+class Retargeting:
+    machine: object
+    report: object
+    backend: object
+
+
+@dataclass
+class SelfRetargetingCompiler:
+    """``ac``: compiles language A for any architecture it has been
+    retargeted to."""
+
+    seed: int = 1997
+    _targets: dict = field(default_factory=dict)
+
+    def retarget(self, machine):
+        """Discover the architecture and generate a back end for it."""
+        report = ArchitectureDiscovery(machine, seed=self.seed).run()
+        backend = GeneratedBackend(report.spec)
+        self._targets[machine.target] = Retargeting(machine, report, backend)
+        return report
+
+    def targets(self):
+        return sorted(self._targets)
+
+    def compile(self, source, target):
+        """Compile a language-A program to target assembly text."""
+        if target not in self._targets:
+            raise ReproError(f"ac has not been retargeted to {target!r}")
+        program = compile_to_ir(source)
+        return self._targets[target].backend.compile_ir(program)
+
+    def run(self, source, target):
+        """Compile and execute on the simulated target."""
+        asm = self.compile(source, target)
+        retargeting = self._targets[target]
+        return retargeting.machine.run_asm([asm])
+
+    def check(self, source, target):
+        """Compile, run, and compare with the IR reference interpreter.
+
+        Returns (ok, native_output, reference_output).
+        """
+        retargeting = self._targets[target]
+        program = compile_to_ir(source)
+        expected = eval_program(program, bits=retargeting.report.enquire.word_bits)
+        result = self.run(source, target)
+        output = result.output if result.ok else f"<error: {result.error}>"
+        return output == expected, output, expected

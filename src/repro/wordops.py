@@ -1,0 +1,85 @@
+"""Word-sized integer arithmetic with C semantics.
+
+Both the simulated machines and the reverse interpreter must perform
+arithmetic "in the correct precision" (paper section 5.2.1, which cites
+the use of ``enquire`` for exactly this purpose).  All register and memory
+values are stored as unsigned Python ints masked to the word width; these
+helpers convert between signed/unsigned views and implement C's
+truncating division.
+"""
+
+
+def mask(value, bits):
+    """Truncate *value* to an unsigned *bits*-wide integer."""
+    return value & ((1 << bits) - 1)
+
+
+def to_signed(value, bits):
+    """Interpret an unsigned *bits*-wide integer as two's complement."""
+    value = mask(value, bits)
+    if value >= 1 << (bits - 1):
+        return value - (1 << bits)
+    return value
+
+
+def to_unsigned(value, bits):
+    """Alias of :func:`mask`, for symmetric naming at call sites."""
+    return mask(value, bits)
+
+
+def c_div(a, b):
+    """C integer division: truncation toward zero (Python's ``//`` floors)."""
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return q
+
+
+def c_mod(a, b):
+    """C integer remainder: ``a - c_div(a, b) * b`` (sign follows *a*)."""
+    return a - c_div(a, b) * b
+
+
+def shift_amount(count, bits):
+    """Shift counts are taken modulo the word width, as most ISAs do."""
+    return count % bits
+
+
+def add(a, b, bits):
+    return mask(a + b, bits)
+
+
+def sub(a, b, bits):
+    return mask(a - b, bits)
+
+
+def mul(a, b, bits):
+    return mask(to_signed(a, bits) * to_signed(b, bits), bits)
+
+
+def sdiv(a, b, bits):
+    return mask(c_div(to_signed(a, bits), to_signed(b, bits)), bits)
+
+
+def smod(a, b, bits):
+    return mask(c_mod(to_signed(a, bits), to_signed(b, bits)), bits)
+
+
+def neg(a, bits):
+    return mask(-to_signed(a, bits), bits)
+
+
+def bit_not(a, bits):
+    return mask(~a, bits)
+
+
+def shl(a, b, bits):
+    return mask(a << shift_amount(b, bits), bits)
+
+
+def shr_arith(a, b, bits):
+    return mask(to_signed(a, bits) >> shift_amount(b, bits), bits)
+
+
+def shr_logical(a, b, bits):
+    return mask(a, bits) >> shift_amount(b, bits)

@@ -1,0 +1,96 @@
+"""Instruction-selection behaviour of the generated back ends."""
+
+import pytest
+
+from repro.beg import ir
+from repro.beg.codegen import GeneratedBackend
+from tests.discovery.conftest import discovery_report
+
+
+def asm_for(target, expr):
+    report = discovery_report(target)
+    backend = GeneratedBackend(report.spec)
+    program = ir.IRProgram(
+        stmts=[ir.Assign(ir.Local(0), expr), ir.Print(ir.Local(0)), ir.Exit()]
+    )
+    program.locals_used = 1
+    return backend.compile_ir(program), report
+
+
+class TestImmediateRuleSelection:
+    def test_in_range_immediate_uses_the_imm_rule(self):
+        asm, report = asm_for("sparc", ir.BinOp("Plus", ir.Local(0), ir.Const(7)))
+        # The constant appears inline in an add, not via a loadimm.
+        assert "add" in asm
+        lines = [l for l in asm.splitlines() if l.strip().startswith("add")]
+        assert any(", 7," in l for l in lines)
+
+    def test_out_of_range_immediate_falls_back_to_registers(self):
+        asm, report = asm_for("sparc", ir.BinOp("Plus", ir.Local(0), ir.Const(90000)))
+        result = report.corpus.machine.run_asm([asm])
+        assert result.ok
+        # 90000 exceeds [-4096,4095]: it must arrive via set, not inline.
+        assert any(
+            l.strip().startswith("set 90000") for l in asm.splitlines()
+        )
+
+    def test_m68k_large_shift_uses_the_register_form(self):
+        asm, report = asm_for("m68k", ir.BinOp("Shl", ir.Local(0), ir.Const(13)))
+        result = report.corpus.machine.run_asm([asm])
+        assert result.ok
+        # 13 exceeds the [1,8] immediate range; the count is loaded.
+        assert "#13" in asm
+
+    def test_in_range_m68k_shift_is_inline(self):
+        asm, _report = asm_for("m68k", ir.BinOp("Shl", ir.Local(0), ir.Const(5)))
+        assert any(
+            l.strip().startswith("lsl.l #5") for l in asm.splitlines()
+        )
+
+
+class TestClassAwareAllocation:
+    def test_m68k_mult_lands_in_data_registers(self):
+        asm, report = asm_for(
+            "m68k", ir.BinOp("Mult", ir.Local(0), ir.Const(3))
+        )
+        result = report.corpus.machine.run_asm([asm])
+        assert result.ok
+        for line in asm.splitlines():
+            stripped = line.strip()
+            if stripped.startswith("muls.l"):
+                destination = stripped.split(",")[-1].strip()
+                assert destination.startswith("d"), line
+
+    def test_x86_division_results_route_through_the_literal_registers(self):
+        asm, report = asm_for("x86", ir.BinOp("Mod", ir.Local(0), ir.Const(9)))
+        assert "cltd" in asm and "idivl" in asm
+        result = report.corpus.machine.run_asm([asm])
+        assert result.ok
+
+
+class TestEmittedShape:
+    @pytest.mark.parametrize("target", ("mips", "vax"))
+    def test_every_line_assembles(self, target):
+        asm, report = asm_for(
+            target,
+            ir.BinOp(
+                "Plus",
+                ir.BinOp("Mult", ir.Local(0), ir.Const(3)),
+                ir.UnOp("Neg", ir.Local(0)),
+            ),
+        )
+        assert report.corpus.machine.assembles_ok(asm)
+
+    def test_labels_are_namespaced(self):
+        report = discovery_report("mips")
+        backend = GeneratedBackend(report.spec)
+        program = ir.IRProgram(
+            stmts=[
+                ir.Label("Lstr0"),  # deliberately collides with data labels
+                ir.Jump("Lstr0"),
+                ir.Exit(),
+            ]
+        )
+        program.locals_used = 0
+        asm = backend.compile_ir(program)
+        assert "T0_Lstr0:" in asm

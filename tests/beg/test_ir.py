@@ -1,0 +1,106 @@
+"""The intermediate code and its reference interpreter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import wordops
+from repro.beg import ir
+
+
+def prog(*stmts, locals_used=4):
+    program = ir.IRProgram(stmts=list(stmts))
+    program.locals_used = locals_used
+    return program
+
+
+class TestEvaluator:
+    def test_assign_and_print(self):
+        output = ir.eval_program(
+            prog(
+                ir.Assign(ir.Local(0), ir.Const(313)),
+                ir.Print(ir.BinOp("Mult", ir.Local(0), ir.Const(109))),
+                ir.Exit(),
+            )
+        )
+        assert output == "34117\n"
+
+    def test_branches_and_labels(self):
+        output = ir.eval_program(
+            prog(
+                ir.Assign(ir.Local(0), ir.Const(1)),
+                ir.Branch("BranchLT", ir.Local(0), ir.Const(5), "yes"),
+                ir.Print(ir.Const(0)),
+                ir.Jump("end"),
+                ir.Label("yes"),
+                ir.Print(ir.Const(1)),
+                ir.Label("end"),
+                ir.Exit(),
+            )
+        )
+        assert output == "1\n"
+
+    def test_exit_stops_execution(self):
+        output = ir.eval_program(prog(ir.Exit(), ir.Print(ir.Const(9))))
+        assert output == ""
+
+    def test_loop_with_fuel(self):
+        with pytest.raises(RuntimeError):
+            ir.eval_program(
+                prog(ir.Label("spin"), ir.Jump("spin")), fuel=100
+            )
+
+    def test_division_truncates_toward_zero(self):
+        output = ir.eval_program(
+            prog(
+                ir.Print(ir.BinOp("Div", ir.Const(-7), ir.Const(2))),
+                ir.Print(ir.BinOp("Mod", ir.Const(-7), ir.Const(2))),
+                ir.Exit(),
+            )
+        )
+        assert output == "-3\n-1\n"
+
+    @given(
+        a=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        b=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        op=st.sampled_from(ir.BINARY_OPS),
+    )
+    def test_word_exact_semantics(self, a, b, op):
+        if op in ("Div", "Mod") and b == 0:
+            return
+        output = ir.eval_program(
+            prog(ir.Print(ir.BinOp(op, ir.Const(a), ir.Const(b))), ir.Exit())
+        )
+        value = int(output.strip())
+        assert -(2**31) <= value <= 2**31 - 1
+
+    @given(a=st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_unary_ops(self, a):
+        output = ir.eval_program(
+            prog(
+                ir.Print(ir.UnOp("Neg", ir.Const(a))),
+                ir.Print(ir.UnOp("Not", ir.Const(a))),
+                ir.Exit(),
+            )
+        )
+        neg, inv = map(int, output.split())
+        assert neg == wordops.to_signed(wordops.neg(a, 32), 32)
+        assert inv == wordops.to_signed(wordops.bit_not(a, 32), 32)
+
+    def test_64_bit_evaluation(self):
+        big = 2**40
+        output = ir.eval_program(
+            prog(ir.Print(ir.BinOp("Plus", ir.Const(big), ir.Const(1))), ir.Exit()),
+            bits=64,
+        )
+        assert output == f"{big + 1}\n"
+
+    def test_32_bit_wraparound(self):
+        output = ir.eval_program(
+            prog(
+                ir.Print(ir.BinOp("Plus", ir.Const(2**31 - 1), ir.Const(1))),
+                ir.Exit(),
+            ),
+            bits=32,
+        )
+        assert output == f"{-(2**31)}\n"

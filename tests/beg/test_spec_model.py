@@ -1,0 +1,62 @@
+"""The machine-description model and the generated back end's guards."""
+
+import pytest
+
+from repro.beg.codegen import BackendError, GeneratedBackend, _as_set, _intersect
+from repro.beg.spec import MachineSpec, OpRule
+from repro.discovery.asmmodel import DInstr, DReg, Slot
+from repro.discovery.syntax import DiscoveredSyntax
+
+
+class TestOpRule:
+    def test_slots_used(self):
+        rule = OpRule(
+            "Plus",
+            [DInstr("add", [Slot("left"), Slot("right"), Slot("result")])],
+        )
+        assert rule.slots_used() == {"left", "right", "result"}
+
+    def test_literal_operands_not_slots(self):
+        rule = OpRule("Mult", [DInstr("call", [DReg("%o0")])])
+        assert rule.slots_used() == set()
+
+
+class TestClassHelpers:
+    def test_as_set(self):
+        assert _as_set(None) is None
+        assert _as_set([]) is None
+        assert _as_set(["a", "b"]) == {"a", "b"}
+
+    def test_intersect(self):
+        assert _intersect(None, None) is None
+        assert _intersect({"a", "b"}, None) == {"a", "b"}
+        assert _intersect({"a", "b"}, {"b", "c"}) == {"b"}
+
+
+class TestBackendGuards:
+    def test_spec_without_frame_rejected(self):
+        spec = MachineSpec(target="toy", syntax=DiscoveredSyntax())
+        with pytest.raises(BackendError):
+            GeneratedBackend(spec)
+
+
+class TestRendering:
+    def test_render_beg_smoke(self):
+        syntax = DiscoveredSyntax()
+        spec = MachineSpec(target="toy", syntax=syntax)
+        spec.allocatable = ["r1", "r2"]
+        spec.rules["Plus"] = OpRule(
+            "Plus",
+            [DInstr("add", [Slot("left"), Slot("right"), Slot("result")])],
+            verified=True,
+        )
+        text = spec.render_beg()
+        assert "TARGET toy" in text
+        assert "add <left>, <right>, <result>" in text
+
+    def test_summary_counts(self):
+        spec = MachineSpec(target="toy", syntax=DiscoveredSyntax())
+        spec.rules["Plus"] = OpRule("Plus", [])
+        summary = spec.summary()
+        assert summary["op_rules"] == ["Plus"]
+        assert summary["branch_rules"] == []

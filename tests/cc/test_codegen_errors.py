@@ -1,0 +1,62 @@
+"""Code-generator diagnostics and structural properties."""
+
+import pytest
+
+from repro.cc import compiler_for
+from repro.errors import CompilerError
+from repro.machines.machine import target_names
+
+
+@pytest.fixture(params=target_names(), scope="module")
+def cc(request):
+    return compiler_for(request.param)
+
+
+class TestDiagnostics:
+    def test_comparison_as_value_rejected(self, cc):
+        with pytest.raises(CompilerError):
+            cc.compile("main(){ int a, b; a = (b < 3); }")
+
+    def test_too_many_parameters_rejected(self, cc):
+        params = ", ".join(f"int p{i}" for i in range(9))
+        if cc.target in ("x86", "vax", "m68k"):
+            # Stack conventions take any number of parameters.
+            cc.compile(f"int F({params}){{ return p0; }}")
+        else:
+            with pytest.raises(CompilerError):
+                cc.compile(f"int F({params}){{ return p0; }}")
+
+    def test_unknown_statement_constructs_rejected(self, cc):
+        with pytest.raises(CompilerError):
+            cc.compile("main(){ switch; }")
+
+    def test_byte_stores_rejected(self, cc):
+        with pytest.raises(CompilerError):
+            cc.compile("main(){ char *p; int a; p = (char*)&a; *p = 1; }")
+
+
+class TestStructure:
+    def test_output_has_sections_and_entry(self, cc):
+        asm = cc.compile('main(){ printf("%i\\n", 1); exit(0); }')
+        assert ".text" in asm
+        assert ".globl main" in asm
+        assert ".data" in asm  # the format string
+
+    def test_string_literals_deduplicated(self, cc):
+        asm = cc.compile(
+            'main(){ printf("%i\\n", 1); printf("%i\\n", 2); exit(0); }'
+        )
+        assert asm.count('.asciz "%i\\n"') == 1
+
+    def test_globals_exported(self, cc):
+        asm = cc.compile("int shared = 3;")
+        assert ".globl shared" in asm
+
+    def test_extern_emits_no_storage(self, cc):
+        asm = cc.compile("extern int z1;")
+        assert "z1:" not in asm
+
+    def test_each_compilation_is_independent(self, cc):
+        first = cc.compile("main(){ exit(0); }")
+        second = cc.compile("main(){ exit(0); }")
+        assert first == second

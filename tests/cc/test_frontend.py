@@ -1,0 +1,129 @@
+"""Front-end unit tests: lexer, parser, sema diagnostics."""
+
+import pytest
+
+from repro.cc import cast
+from repro.cc.lexer import tokenize
+from repro.cc.parser import parse
+from repro.cc.sema import SizeModel, analyze
+from repro.errors import CompilerError
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)][:-1]
+
+
+def analyze_src(source):
+    unit = parse(source)
+    return unit, analyze(unit, SizeModel())
+
+
+class TestLexer:
+    def test_numbers(self):
+        assert kinds("12 0x1F 017") == [("num", 12), ("num", 31), ("num", 15)]
+
+    def test_keywords_vs_identifiers(self):
+        toks = kinds("int intx if iffy")
+        assert toks == [("kw", "int"), ("id", "intx"), ("kw", "if"), ("id", "iffy")]
+
+    def test_multi_char_operators(self):
+        assert [v for _, v in kinds("a<<=b")] == ["a", "<<", "=", "b"]
+
+    def test_string_escapes(self):
+        assert kinds(r'"%i\n"') == [("str", "%i\n")]
+
+    def test_comments_stripped(self):
+        assert kinds("a /* x */ b // y\n c") == [("id", "a"), ("id", "b"), ("id", "c")]
+
+    def test_include_substitution(self):
+        toks = tokenize('#include "h.h"\nmain', headers={"h.h": "extern int z;"})
+        assert [t.value for t in toks[:-1]] == ["extern", "int", "z", ";", "main"]
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(CompilerError):
+            tokenize('#include "gone.h"')
+
+    def test_stray_character_rejected(self):
+        with pytest.raises(CompilerError):
+            tokenize("int a @ b;")
+
+
+class TestParser:
+    def test_implicit_int_main(self):
+        unit = parse("main(){}")
+        assert isinstance(unit.decls[0], cast.FuncDef)
+        assert unit.decls[0].return_type == cast.INT
+
+    def test_precedence(self):
+        unit = parse("main(){int a,b,c; a = b + c * 2;}")
+        assign = unit.decls[0].body.stmts[1].expr
+        assert assign.value.op == "+"
+        assert assign.value.right.op == "*"
+
+    def test_unary_minus_folds_literals(self):
+        unit = parse("main(){int a; a = -5;}")
+        assert unit.decls[0].body.stmts[1].expr.value.value == -5
+
+    def test_cast_and_sizeof(self):
+        unit = parse("main(){int a; char *p; p = (char*)&a; a = sizeof(int*);}")
+        stmts = unit.decls[0].body.stmts
+        assert isinstance(stmts[2].expr.value, cast.Cast)
+        assert isinstance(stmts[3].expr.value, cast.SizeofType)
+
+    def test_labels_and_goto(self):
+        unit = parse("main(){ goto L; L: ; }")
+        body = unit.decls[0].body.stmts
+        assert isinstance(body[0], cast.Goto)
+        assert isinstance(body[1], cast.LabelStmt)
+
+    def test_non_lvalue_assignment_rejected(self):
+        with pytest.raises(CompilerError):
+            parse("main(){ 5 = 6; }")
+
+    def test_multiple_declarators_with_inits(self):
+        unit = parse("main(){int b=5,c=6,a=b+c;}")
+        decl = unit.decls[0].body.stmts[0]
+        assert [d[1] for d in decl.decls] == ["b", "c", "a"]
+
+    def test_extern_globals(self):
+        unit = parse("extern int z1, z2;")
+        assert all(d.extern for d in unit.decls)
+        assert [d.name for d in unit.decls] == ["z1", "z2"]
+
+    def test_kr_style_param_list_rejected_gracefully(self):
+        with pytest.raises(CompilerError):
+            parse("void Init(n) int *n; {}")
+
+
+class TestSema:
+    def test_undeclared_identifier(self):
+        with pytest.raises(CompilerError):
+            analyze_src("main(){ a = 5; }")
+
+    def test_duplicate_local(self):
+        with pytest.raises(CompilerError):
+            analyze_src("main(){ int a; int a; }")
+
+    def test_goto_undefined_label(self):
+        with pytest.raises(CompilerError):
+            analyze_src("main(){ goto Nowhere; }")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(CompilerError):
+            analyze_src("main(){ int a, b; b = *a; }")
+
+    def test_pointer_types_propagate(self):
+        unit, _info = analyze_src("main(){ int a; int *p; p = &a; a = *p; }")
+        stmts = unit.decls[0].body.stmts
+        assert str(stmts[2].expr.value.ctype) == "int*"
+        assert str(stmts[3].expr.value.ctype) == "int"
+
+    def test_sizeof_uses_target_sizes(self):
+        unit = parse("main(){ int a; a = sizeof(int); }")
+        analyze(unit, SizeModel(int_size=8, pointer_size=8))
+        assert unit.decls[0].body.stmts[1].expr.value.value == 8
+
+    def test_params_are_bound(self):
+        unit, info = analyze_src("int P(int x){ return x; }")
+        finfo = info.functions["P"]
+        assert finfo.params[0].name == "x"

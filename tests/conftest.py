@@ -1,0 +1,25 @@
+"""Shared fixtures: one RemoteMachine per target, cached per session."""
+
+import pytest
+
+from repro.machines.machine import RemoteMachine, target_names
+
+TARGETS = target_names()
+
+
+@pytest.fixture(scope="session")
+def machines():
+    """Mapping of target name -> RemoteMachine (shared; stats accumulate)."""
+    return {name: RemoteMachine(name) for name in TARGETS}
+
+
+@pytest.fixture(params=TARGETS, scope="session")
+def any_machine(request, machines):
+    """Parametrized fixture running a test once per simulated target."""
+    return machines[request.param]
+
+
+def run_c(machine, source, headers=None):
+    """Compile, assemble, link and execute a single C source."""
+    asm = machine.compile_c(source, headers)
+    return machine.run_asm([asm])

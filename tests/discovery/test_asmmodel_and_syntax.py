@@ -1,0 +1,155 @@
+"""Unit and property tests for the discovery-side assembly model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.discovery.asmmodel import (
+    DImm,
+    DInstr,
+    DMem,
+    DReg,
+    DSym,
+    DUnknown,
+    Slot,
+    instantiate,
+    split_lines,
+    split_operand_texts,
+)
+from repro.discovery.syntax import DiscoveredSyntax, LoadImmTemplate
+
+
+def x86ish_syntax():
+    syntax = DiscoveredSyntax()
+    syntax.comment_char = "#"
+    syntax.imm_prefix = "$"
+    syntax.registers = {"%eax", "%ebx", "%ebp"}
+    syntax.loadimm = LoadImmTemplate("movl", imm_index=0, reg_index=1)
+    return syntax
+
+
+def sparcish_syntax():
+    syntax = DiscoveredSyntax()
+    syntax.comment_char = "!"
+    syntax.imm_prefix = ""
+    syntax.registers = {"%l0", "%fp", "%o0"}
+    syntax.loadimm = LoadImmTemplate("set", imm_index=0, reg_index=1)
+    return syntax
+
+
+class TestSplitting:
+    def test_split_lines_strips_comments(self):
+        lines = split_lines("\tadd %o0, 1, %o1 ! note\n! whole-line\n", "!")
+        assert len(lines) == 1
+        assert lines[0].mnemonic == "add"
+        assert lines[0].operand_texts == ["%o0", "1", "%o1"]
+
+    def test_split_lines_collects_labels(self):
+        lines = split_lines("L1: L2: nop", "#")
+        assert lines[0].labels == ["L1", "L2"]
+        assert lines[0].mnemonic == "nop"
+
+    def test_directives_flagged(self):
+        lines = split_lines(".globl main", "#")
+        assert lines[0].is_directive
+
+    def test_operand_split_respects_brackets(self):
+        assert split_operand_texts("[%fp+-8], %o0") == ["[%fp+-8]", "%o0"]
+        assert split_operand_texts("a(b,c), d") == ["a(b,c)", "d"]
+
+
+class TestClassify:
+    def test_x86_style(self):
+        syntax = x86ish_syntax()
+        assert syntax.classify("%eax") == DReg("%eax")
+        assert syntax.classify("$-12") == DImm(-12, "$")
+        assert syntax.classify("$Lstr0") == DSym("Lstr0", "$")
+        assert syntax.classify("-8(%ebp)") == DMem("paren", "%ebp", -8)
+        assert syntax.classify("(%eax)") == DMem("paren", "%eax", 0)
+        assert syntax.classify("1235") == DMem("absolute", None, 1235)
+        assert syntax.classify("printf") == DSym("printf")
+        assert syntax.classify(")((") == DUnknown(")((")
+
+    def test_sparc_style(self):
+        syntax = sparcish_syntax()
+        assert syntax.classify("%l0") == DReg("%l0")
+        assert syntax.classify("-4096") == DImm(-4096, "")
+        assert syntax.classify("[%fp-8]") == DMem("bracket", "%fp", -8)
+        assert syntax.classify("[%fp+-8]") == DMem("bracket", "%fp", -8)
+        assert syntax.classify("[%fp+12]") == DMem("bracket", "%fp", 12)
+        assert syntax.classify("[%o0]") == DMem("bracket", "%o0", 0)
+
+    def test_unknown_base_not_memory(self):
+        syntax = x86ish_syntax()
+        assert isinstance(syntax.classify("-8(%zzz)"), DUnknown)
+
+    @given(value=st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_immediate_round_trip(self, value):
+        syntax = x86ish_syntax()
+        op = DImm(value, "$")
+        assert syntax.classify(syntax.render_operand(op)) == op
+
+    @given(disp=st.integers(min_value=-(2**16), max_value=2**16))
+    def test_paren_memory_round_trip(self, disp):
+        syntax = x86ish_syntax()
+        op = DMem("paren", "%ebp", disp)
+        assert syntax.classify(syntax.render_operand(op)) == op
+
+    @given(disp=st.integers(min_value=-(2**16), max_value=2**16))
+    def test_bracket_memory_round_trip(self, disp):
+        syntax = sparcish_syntax()
+        op = DMem("bracket", "%fp", disp)
+        assert syntax.classify(syntax.render_operand(op)) == op
+
+    def test_render_instr_with_labels(self):
+        syntax = x86ish_syntax()
+        instr = DInstr("addl", [DImm(1, "$"), DReg("%eax")], labels=["L5"])
+        assert syntax.render_instr(instr) == "L5:\n\taddl $1, %eax"
+
+
+class TestInstrModel:
+    def test_signature_distinguishes_operand_shapes(self):
+        a = DInstr("movl", [DImm(1, "$"), DReg("%eax")])
+        b = DInstr("movl", [DMem("paren", "%ebp", -8), DReg("%eax")])
+        assert a.signature() != b.signature()
+
+    def test_rename_register_positions(self):
+        instr = DInstr("addl", [DReg("%eax"), DReg("%eax")])
+        renamed = instr.rename_register("%eax", "%ebx", positions={1})
+        assert renamed.operands == [DReg("%eax"), DReg("%ebx")]
+
+    def test_rename_memory_base(self):
+        instr = DInstr("movl", [DMem("paren", "%eax", 0), DReg("%ebx")])
+        renamed = instr.rename_register("%eax", "%ecx")
+        assert renamed.operands[0].base == "%ecx"
+
+    def test_clone_is_deep_enough(self):
+        instr = DInstr("nop", [], labels=["L1"])
+        clone = instr.clone()
+        clone.labels.append("L2")
+        assert instr.labels == ["L1"]
+
+
+class TestTemplates:
+    def test_instantiate_replaces_slots(self):
+        template = [DInstr("add", [Slot("left"), Slot("right"), Slot("result")])]
+        out = instantiate(
+            template,
+            {"left": DReg("%l0"), "right": DImm(1, ""), "result": DReg("%l1")},
+        )
+        assert out[0].operands == [DReg("%l0"), DImm(1, ""), DReg("%l1")]
+
+    def test_instantiate_leaves_literals(self):
+        template = [DInstr("mov", [Slot("left"), DReg("%o0")])]
+        out = instantiate(template, {"left": DReg("%l0")})
+        assert out[0].operands[1] == DReg("%o0")
+
+    def test_unbound_slot_raises(self):
+        template = [DInstr("add", [Slot("left")])]
+        with pytest.raises(KeyError):
+            instantiate(template, {})
+
+    def test_instantiate_does_not_mutate_the_template(self):
+        template = [DInstr("add", [Slot("left")])]
+        instantiate(template, {"left": DReg("%l0")})
+        assert isinstance(template[0].operands[0], Slot)

@@ -1,0 +1,153 @@
+"""Branch semantics (section 6's BranchEQ example) and calling
+conventions (Figures 4(a) and 15(e))."""
+
+import pytest
+
+from repro.discovery.asmmodel import Slot
+from tests.discovery.conftest import discovery_report
+
+
+class TestBranchModel:
+    def test_all_six_relations_on_every_target(self, report):
+        rules = report.branch_model.rules
+        assert set(rules) == {"isLT", "isLE", "isGT", "isGE", "isEQ", "isNE"}
+
+    def test_mips_brancheq_is_one_instruction(self, mips_report):
+        """Section 6: "this is the exact semantics we derive for the MIPS
+        beq instruction" -- BranchEQ maps directly."""
+        rule = mips_report.branch_model.rules["isEQ"]
+        assert len(rule.instrs) == 1
+        assert rule.instrs[0].mnemonic == "beq"
+        assert "brTrue(isEQ(compare" in rule.semantics
+
+    def test_alpha_split_into_compare_and_branch(self, alpha_report):
+        """Section 6: "on the Alpha we derive cmpeq(a,b) =
+        isEQ(compare(a,b)) and bne(a,L) = brTrue(a,L)"."""
+        rule = alpha_report.branch_model.rules["isEQ"]
+        assert [i.mnemonic for i in rule.instrs] == ["cmpeq", "bne"]
+        assert "cmpeq = isEQ(compare" in rule.semantics
+        assert "bne = brTrue" in rule.semantics
+
+    def test_sparc_and_x86_and_vax_use_condition_codes(self):
+        for target, pair in (
+            ("sparc", ("cmp", "be")),
+            ("x86", ("cmpl", "je")),
+            ("vax", ("cmpl", "jeql")),
+        ):
+            rule = discovery_report(target).branch_model.rules["isEQ"]
+            assert tuple(i.mnemonic for i in rule.instrs) == pair, target
+            assert "compare" in rule.semantics
+
+    def test_unconditional_jump_discovered_from_the_maze(self):
+        expected = {"x86": "jmp", "mips": "j", "sparc": "ba", "alpha": "br", "vax": "jbr"}
+        for target, mnemonic in expected.items():
+            assert discovery_report(target).branch_model.uncond == mnemonic, target
+
+    def test_templates_have_label_and_operand_slots(self, report):
+        for rule in report.branch_model.rules.values():
+            slots = {
+                op.name
+                for instr in rule.instrs
+                for op in instr.operands
+                if isinstance(op, Slot)
+            }
+            assert "label" in slots
+            assert "left" in slots and "right" in slots
+
+    def test_swapped_relations_derived_on_the_alpha(self, alpha_report):
+        """The Alpha compiler never emits a taken-on-LT branch; BranchLE/
+        BranchLT come from swapping a GE/GT template's operands."""
+        rule = alpha_report.branch_model.rules["isLT"]
+        assert "operands swapped" in rule.semantics
+
+
+class TestCallProtocol:
+    @pytest.mark.parametrize(
+        "target,kind,result",
+        [
+            ("x86", "push", "%eax"),
+            ("vax", "push", "r0"),
+            ("mips", "reg", "$2"),
+            ("sparc", "reg", "%o0"),
+            ("alpha", "reg", "$0"),
+        ],
+    )
+    def test_kind_and_result_register(self, target, kind, result):
+        protocol = discovery_report(target).call_protocol
+        assert protocol.kind == kind
+        assert protocol.result_reg == result
+
+    def test_sparc_argument_registers_in_order(self, sparc_report):
+        assert sparc_report.call_protocol.arg_regs[:2] == ["%o0", "%o1"]
+
+    def test_mips_argument_registers_in_order(self, mips_report):
+        assert mips_report.call_protocol.arg_regs[:2] == ["$4", "$5"]
+
+    def test_alpha_argument_registers_in_order(self, alpha_report):
+        assert alpha_report.call_protocol.arg_regs[:2] == ["$16", "$17"]
+
+    def test_x86_pushes_first_argument_last(self, x86_report):
+        protocol = x86_report.call_protocol
+        assert protocol.first_arg_pushed_last
+        assert protocol.push_instr.mnemonic == "pushl"
+
+    def test_x86_caller_cleans_four_bytes_per_argument(self, x86_report):
+        protocol = x86_report.call_protocol
+        assert protocol.cleanup_stride == 4
+        assert protocol.cleanup_instr.mnemonic == "addl"
+
+    def test_vax_call_carries_the_argument_count(self, vax_report):
+        protocol = vax_report.call_protocol
+        assert protocol.nargs_slot
+        assert protocol.call_instr.mnemonic == "calls"
+
+    def test_sparc_call_has_a_delay_filler(self, sparc_report):
+        protocol = sparc_report.call_protocol
+        assert protocol.nargs_slot  # `call P, 2` carries the count too
+        assert protocol.delay_filler is not None
+
+
+class TestEnquire:
+    @pytest.mark.parametrize(
+        "target,bits,endian",
+        [
+            ("x86", 32, "little"),
+            ("mips", 32, "big"),
+            ("sparc", 32, "big"),
+            ("alpha", 64, "little"),
+            ("vax", 32, "little"),
+        ],
+    )
+    def test_word_size_and_endianness(self, target, bits, endian):
+        enq = discovery_report(target).enquire
+        assert enq.word_bits == bits
+        assert enq.endian == endian
+        assert enq.char_size == 1
+        assert enq.pointer_size == enq.int_size
+
+
+class TestFrameModel:
+    def test_distinct_slots_for_every_local(self, report):
+        frame = report.frame_model
+        keys = {(m.kind, m.base, m.disp) for m in frame.slots}
+        assert len(keys) == len(frame.slots) >= 16
+
+    def test_prologue_is_nonempty_and_verbatim(self, report):
+        frame = report.frame_model
+        assert frame.prologue_lines
+        joined = "\n".join(frame.prologue_lines)
+        assert "main" in joined
+
+    def test_print_template_parameterised_on_the_value_slot(self, report):
+        frame = report.frame_model
+        slots = {
+            op.name
+            for instr in frame.print_template
+            for op in instr.operands
+            if isinstance(op, Slot)
+        }
+        assert slots == {"print_slot"}
+
+    def test_exit_template_references_exit(self, report):
+        rendered = report.spec.syntax.render_instrs(report.frame_model.exit_template)
+        assert "exit" in rendered

@@ -1,0 +1,66 @@
+"""Corpus mechanics, enquire, and address-map behaviours."""
+
+import pytest
+
+from repro.discovery.enquire import enquire
+from repro.errors import DiscoveryError
+from tests.discovery.conftest import sample_named
+
+
+class TestCorpus:
+    def test_run_is_deterministic(self, report):
+        sample = sample_named(report, "int_add_a_bOPc")
+        first = report.corpus.run(sample)
+        second = report.corpus.run(sample)
+        assert first.output == second.output == sample.expected_output
+
+    def test_run_with_fresh_values(self, report):
+        sample = sample_named(report, "int_add_a_bOPc")
+        result = report.corpus.run(sample, values={"a": 1, "b": 10, "c": 20})
+        assert result.ok
+        assert result.output == "30\n"
+
+    def test_unassemblable_mutation_returns_none(self, report):
+        from repro.discovery.asmmodel import DInstr, DReg
+
+        sample = sample_named(report, "int_add_a_bOPc")
+        bogus = sample.region + [DInstr("zzyzx", [DReg("nope")])]
+        assert report.corpus.run(sample, bogus) is None
+
+    def test_init_objects_cached_per_value_set(self, report):
+        corpus = report.corpus
+        a = corpus.init_object({"a": 1, "b": 2, "c": 3})
+        b = corpus.init_object({"a": 1, "b": 2, "c": 3})
+        c = corpus.init_object({"a": 1, "b": 2, "c": 4})
+        assert a is b
+        assert a is not c
+
+    def test_usable_samples_filters_kind(self, report):
+        kinds = {s.kind for s in report.corpus.usable_samples(kind="cond")}
+        assert kinds <= {"cond"}
+
+
+class TestEnquire:
+    def test_enquire_is_stable(self, report):
+        again = enquire(report.corpus.machine)
+        assert again == report.enquire
+
+    def test_word_bits_follow_int_size(self, report):
+        assert report.enquire.word_bits == report.enquire.int_size * 8
+
+    def test_describe_mentions_endianness(self, report):
+        assert report.enquire.endian in report.enquire.describe()
+
+
+class TestAddressMapErrors:
+    def test_incomplete_corpus_raises(self):
+        from repro.discovery.addresses import discover_address_map
+
+        class FakeCorpus:
+            samples = []
+
+            def usable_samples(self, kind=None):
+                return iter(())
+
+        with pytest.raises(DiscoveryError):
+            discover_address_map(FakeCorpus())

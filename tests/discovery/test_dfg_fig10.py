@@ -1,0 +1,105 @@
+"""E10/E11 (paper Figures 10 and 11): data-flow graphs and matching."""
+
+from repro.discovery.dfg import build_dfg
+from repro.discovery.graphmatch import match_binary
+from tests.discovery.conftest import sample_named
+
+
+class TestFig10Graphs:
+    def test_mips_mul_graph_shape(self, mips_report):
+        """Fig 10(a-b): @L1.b and @L1.c flow through the lw's into mul,
+        and mul's result flows through sw into @L1.a."""
+        sample = sample_named(mips_report, "int_mul_a_bOPc")
+        graph = build_dfg(sample, mips_report.addr_map)
+        mul_idx = next(
+            i for i, instr in enumerate(sample.region) if instr.mnemonic == "mul"
+        )
+        b_desc = graph.descendants(("var", "b"))
+        c_desc = graph.descendants(("var", "c"))
+        assert ("instr", mul_idx) in b_desc
+        assert ("instr", mul_idx) in c_desc
+        assert ("var", "a") in graph.descendants(("instr", mul_idx))
+
+    def test_x86_div_graph_exposes_implicit_arguments(self, x86_report):
+        """Fig 10(c-d): the implicit %eax edges are explicit in the
+        graph (idivl reads and modifies %eax)."""
+        sample = sample_named(x86_report, "int_div_a_bOPc")
+        graph = build_dfg(sample, x86_report.addr_map)
+        # b reaches @a through the whole pipe.
+        assert ("var", "a") in graph.descendants(("var", "b"))
+
+    def test_sparc_mul_graph_routes_through_the_call(self, sparc_report):
+        sample = sample_named(sparc_report, "int_mul_a_bOPc")
+        graph = build_dfg(sample, sparc_report.addr_map)
+        call_idx = sample.info.call_like[0]
+        assert ("instr", call_idx) in graph.descendants(("var", "b"))
+        assert ("var", "a") in graph.descendants(("instr", call_idx))
+
+    def test_dot_export_is_well_formed(self, report):
+        sample = sample_named(report, "int_add_a_bOPc")
+        graph = build_dfg(sample, report.addr_map)
+        dot = graph.to_dot("sample")
+        assert dot.startswith("digraph sample {")
+        assert dot.rstrip().endswith("}")
+        assert "@L1.a" in dot
+        assert "->" in dot
+
+    def test_register_edges_carry_register_tags(self, mips_report):
+        sample = sample_named(mips_report, "int_add_a_bOPc")
+        graph = build_dfg(sample, mips_report.addr_map)
+        tags = {t for _s, _d, t in graph.edges if t}
+        assert "$9" in tags or "$10" in tags
+
+
+class TestFig11Matching:
+    def test_mips_p_node_is_the_mul(self, mips_report):
+        """Fig 11(a): P = mul; lw loads the r-values, sw stores."""
+        sample = sample_named(mips_report, "int_mul_a_bOPc")
+        graph = build_dfg(sample, mips_report.addr_map)
+        result = match_binary(sample, graph)
+        mul_idx = next(
+            i for i, instr in enumerate(sample.region) if instr.mnemonic == "mul"
+        )
+        assert result.p_node == ("instr", mul_idx)
+        assert result.roles[mul_idx] == "compute"
+        loads = [
+            i
+            for i, instr in enumerate(sample.region)
+            if instr.mnemonic == "lw"
+        ]
+        for i in loads:
+            assert result.roles.get(i) == "load"
+
+    def test_vax_single_instruction_is_both_p_and_q(self, vax_report):
+        """Fig 11(d): VAX addition is one addl3 node."""
+        sample = sample_named(vax_report, "int_add_a_bOPc")
+        graph = build_dfg(sample, vax_report.addr_map)
+        result = match_binary(sample, graph)
+        add_idx = next(
+            i for i, instr in enumerate(sample.region) if instr.mnemonic == "addl3"
+        )
+        assert result.p_node == ("instr", add_idx)
+        assert result.roles[add_idx] == "compute"
+
+    def test_store_role_assigned(self, alpha_report):
+        sample = sample_named(alpha_report, "int_add_a_bOPc")
+        graph = build_dfg(sample, alpha_report.addr_map)
+        result = match_binary(sample, graph)
+        stq_idx = next(
+            i for i, instr in enumerate(sample.region) if instr.mnemonic == "stq"
+        )
+        assert result.roles.get(stq_idx) == "store"
+
+
+class TestAddressMap:
+    def test_three_distinct_variable_slots(self, report):
+        slots = report.addr_map.slots
+        assert set(slots) == {"a", "b", "c"}
+        assert len(set(slots.values())) == 3
+
+    def test_slots_resolve_memory_operands(self, report):
+        from repro.discovery.asmmodel import DMem
+
+        kind, base, disp = report.addr_map.slots["b"]
+        assert report.addr_map.var_of(DMem(kind, base, disp)) == "b"
+        assert report.addr_map.var_of(DMem(kind, base, disp + 1024)) is None

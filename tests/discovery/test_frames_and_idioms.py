@@ -1,0 +1,77 @@
+"""Frame and idiom discovery (paper section 7.2's header/footer problem)."""
+
+from repro.discovery.asmmodel import DMem, DReg, Slot, instantiate
+from repro.discovery.frames import FRAME_SLOTS, discover_frame
+
+
+class TestFrameProbe:
+    def test_every_slot_distinct_and_frame_based(self, report):
+        frame = report.frame_model
+        assert len(frame.slots) == FRAME_SLOTS
+        keys = {(m.kind, m.base, m.disp) for m in frame.slots}
+        assert len(keys) == FRAME_SLOTS
+        bases = {m.base for m in frame.slots}
+        assert len(bases) == 1  # one frame/stack base register
+
+    def test_probe_is_deterministic(self, report):
+        again = discover_frame(report.corpus.machine, report.syntax)
+        assert [
+            (m.kind, m.base, m.disp) for m in again.slots
+        ] == [(m.kind, m.base, m.disp) for m in report.frame_model.slots]
+        assert again.prologue_lines == report.frame_model.prologue_lines
+
+    def test_prologue_contains_no_body_stores(self, report):
+        joined = "\n".join(report.frame_model.prologue_lines)
+        assert "24111" not in joined  # the probe's first literal
+
+
+class TestIdiomTemplates:
+    def _scaffold(self, report, value):
+        """A standalone program exercising only the discovered idioms."""
+        spec = report.spec
+        frame = report.frame_model
+        pool = spec.allocatable
+        reg = (spec.loadimm_class or pool)[0]
+        body = [spec.syntax.load_imm_instr(value, reg)]
+        body += instantiate(
+            spec.store_template,
+            {"src": DReg(reg), "slot": frame.slots[-1]},
+        )
+        body += instantiate(frame.print_template, {"print_slot": frame.slots[-1]})
+        body += instantiate(frame.exit_template, {})
+        return "\n".join(
+            frame.data_lines
+            + frame.prologue_lines
+            + [spec.syntax.render_instr(i) for i in body]
+        ) + "\n"
+
+    def test_print_idiom_executes_standalone(self, report):
+        program = self._scaffold(report, 31459)
+        result = report.corpus.machine.run_asm([program])
+        assert result.ok, result.error
+        assert result.output == "31459\n"
+
+    def test_print_idiom_handles_negative_values(self, report):
+        program = self._scaffold(report, -7)
+        result = report.corpus.machine.run_asm([program])
+        assert result.output == "-7\n"
+
+    def test_exit_idiom_stops_with_status_zero(self, report):
+        program = self._scaffold(report, 1)
+        result = report.corpus.machine.run_asm([program])
+        assert result.exit_code == 0
+
+    def test_data_lines_define_the_format_string(self, report):
+        joined = "\n".join(report.frame_model.data_lines)
+        assert ".asciz" in joined
+
+    def test_templates_never_reference_sample_variables(self, report):
+        """The print template's only parameter is the value slot: every
+        other memory operand must be absolute or frame-internal."""
+        addr_map = report.addr_map
+        for instr in report.frame_model.print_template:
+            for op in instr.operands:
+                if isinstance(op, DMem):
+                    assert addr_map.var_of(op) is None
+                if isinstance(op, Slot):
+                    assert op.name == "print_slot"

@@ -1,0 +1,69 @@
+"""The L(S,I,R) likelihood model (paper section 5.2.2)."""
+
+from repro.discovery import likelihood
+from repro.discovery.asmmodel import DInstr, DMem, DReg
+from repro.discovery.samples import Sample
+
+
+def sample_for(op, kind="binary"):
+    return Sample(
+        name="s",
+        kind=kind,
+        op=op,
+        shape="a=b@c",
+        statement=f"a = b {op} c;",
+        values={"a": 1, "b": 2, "c": 3},
+    )
+
+
+MUL_INSTR = DInstr("mul", [DReg("r1"), DReg("r2"), DReg("r3")])
+LOAD_INSTR = DInstr("lw", [DReg("r1"), DMem("paren", "sp", 8)])
+
+MUL_EFFECTS = ((("op", 0), ("mul", ("val", 1), ("val", 2))),)
+ADD_EFFECTS = ((("op", 0), ("add", ("val", 1), ("val", 2))),)
+IDENTITY_EFFECTS = ((("op", 0), ("val", 1)),)
+
+
+class TestOrdering:
+    def test_m_compute_role_prefers_the_samples_operator(self):
+        mul_score = likelihood.score(sample_for("*"), MUL_INSTR, MUL_EFFECTS, "compute")
+        add_score = likelihood.score(sample_for("*"), MUL_INSTR, ADD_EFFECTS, "compute")
+        assert mul_score > add_score
+
+    def test_m_load_role_prefers_identity(self):
+        idn = likelihood.score(sample_for("*"), LOAD_INSTR, IDENTITY_EFFECTS, "load")
+        alu = likelihood.score(sample_for("*"), LOAD_INSTR, ADD_EFFECTS, "load")
+        assert idn > alu
+
+    def test_n_mnemonic_hint_breaks_ties(self):
+        divish = DInstr("divl3", [DReg("r1"), DReg("r2"), DReg("r3")])
+        div_effects = ((("op", 2), ("div", ("val", 0), ("val", 1))),)
+        mod_effects = ((("op", 2), ("mod", ("val", 0), ("val", 1))),)
+        # In a remainder sample both div and mod are in the expansion
+        # set; the mnemonic "divl3" must favour div.
+        div_score = likelihood.score(sample_for("%"), divish, div_effects, "compute")
+        mod_score = likelihood.score(sample_for("%"), divish, mod_effects, "compute")
+        assert div_score > mod_score
+
+    def test_size_penalty_prefers_shorter_terms(self):
+        small = ((("op", 0), ("mul", ("val", 1), ("val", 2))),)
+        big = ((("op", 0), ("mul", ("val", 1), ("neg", ("neg", ("val", 2))))),)
+        assert likelihood.score(sample_for("*"), MUL_INSTR, small, "compute") > likelihood.score(
+            sample_for("*"), MUL_INSTR, big, "compute"
+        )
+
+    def test_p_prior_penalises_alien_primitives(self):
+        xor_effects = ((("op", 0), ("xor", ("val", 1), ("val", 2))),)
+        assert likelihood.score(sample_for("+"), MUL_INSTR, ADD_EFFECTS, None) > likelihood.score(
+            sample_for("+"), MUL_INSTR, xor_effects, None
+        )
+
+    def test_expansions_admit_helper_primitives(self):
+        # A remainder sample legitimately contains div/mul/sub.
+        assert "div" in likelihood.EXPANSIONS["mod"]
+        assert "mul" in likelihood.EXPANSIONS["mod"]
+        assert "neg" in likelihood.EXPANSIONS["shiftRight"]
+
+    def test_weights_follow_the_paper_ordering(self):
+        # M is "weighted highly"; N "is given a low weighting".
+        assert likelihood.C1 > likelihood.C2 > likelihood.C3 > likelihood.C4

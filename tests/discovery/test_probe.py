@@ -1,0 +1,139 @@
+"""E15: assembler-syntax probing (paper sections 2 and 3.1).
+
+Comment-character discovery, literal-base scanning and probing, the
+load-immediate template, register-universe probing, and the paper's
+headline immediate-range result: the SPARC ``add`` immediate is
+restricted to [-4096, 4095].
+"""
+
+import pytest
+
+from repro.discovery import probe
+from repro.discovery.asmmodel import DImm, DInstr, DReg
+from tests.discovery.conftest import discovery_report
+
+
+class TestCommentChar:
+    def test_sparc_uses_bang(self):
+        assert discovery_report("sparc").syntax.comment_char == "!"
+
+    @pytest.mark.parametrize("target", ["x86", "mips", "alpha", "vax"])
+    def test_hash_targets(self, target):
+        assert discovery_report(target).syntax.comment_char == "#"
+
+    def test_m68k_uses_pipe(self):
+        assert discovery_report("m68k").syntax.comment_char == "|"
+
+
+class TestLiteralSyntax:
+    @pytest.mark.parametrize("target,prefix", [
+        ("x86", "$"),
+        ("vax", "$"),
+        ("mips", ""),
+        ("sparc", ""),
+        ("alpha", ""),
+        ("m68k", "#"),
+    ])
+    def test_immediate_prefix(self, target, prefix):
+        assert discovery_report(target).syntax.imm_prefix == prefix
+
+    def test_all_compilers_emit_decimal(self, report):
+        assert report.syntax.emitted_base == 10
+
+    def test_accepted_bases_probed(self, report):
+        bases = report.syntax.accepted_bases
+        assert bases["decimal"] is True
+        assert bases["hex-lower"] is True
+        assert bases["octal"] is True
+        # No simulated assembler takes upper-case hex prefixes ("0X...").
+        assert bases["hex-upper"] is False
+
+
+class TestLoadImmediate:
+    @pytest.mark.parametrize("target,mnemonic", [
+        ("x86", "movl"),
+        ("mips", "li"),
+        ("sparc", "set"),
+        ("alpha", "ldiq"),
+        ("vax", "movl"),
+        ("m68k", "move.l"),
+    ])
+    def test_template_mnemonic(self, target, mnemonic):
+        assert discovery_report(target).syntax.loadimm.mnemonic == mnemonic
+
+    def test_template_accepts_full_word_range(self, report):
+        machine = report.corpus.machine
+        syntax = report.syntax
+        reg = sorted(syntax.registers)[0]
+        for value in (0, -1, 2**31 - 1, -(2**31)):
+            instr = syntax.load_imm_instr(value, reg)
+            body = ".text\n.globl main\nmain:\n" + syntax.render_instr(instr)
+            assert machine.assembles_ok(body)
+
+
+class TestRegisterUniverse:
+    @pytest.mark.parametrize("target,count", [
+        ("x86", 8),
+        ("mips", 34),   # $0..$31 plus the $sp/$fp aliases
+        ("sparc", 34),  # %g/%o/%l/%i files plus %sp alias
+        ("alpha", 32),
+        ("vax", 15),    # r0..r11 + ap/fp/sp
+        ("m68k", 18),   # d0-d7, a0-a7 + fp/sp aliases
+    ])
+    def test_register_count(self, target, count):
+        assert len(discovery_report(target).syntax.registers) == count
+
+    def test_x86_finds_two_substitution_distance_registers(self):
+        regs = discovery_report("x86").syntax.registers
+        # %esi/%edi differ from %eax in two letter positions.
+        assert "%esi" in regs and "%edi" in regs
+
+    def test_sparc_finds_sibling_register_files(self):
+        regs = discovery_report("sparc").syntax.registers
+        for family in ("%g0", "%i0", "%o0", "%l0"):
+            assert family in regs
+
+    def test_symbols_never_classified_as_registers(self, report):
+        for name in ("printf", "exit", "Init", "P", "P2", "z1", "Lstr0", "main"):
+            assert name not in report.syntax.registers
+
+
+class TestImmediateRanges:
+    def test_sparc_add_range_is_the_papers_result(self):
+        report = discovery_report("sparc")
+        machine = report.corpus.machine
+        instr = DInstr("add", [DReg("%o0"), DImm(0), DReg("%o1")])
+        lo, hi = probe.immediate_range(machine, report.syntax, instr, 1)
+        assert (lo, hi) == (-4096, 4095)
+
+    def test_mips_addiu_sixteen_bit(self):
+        report = discovery_report("mips")
+        machine = report.corpus.machine
+        instr = DInstr("addiu", [DReg("$8"), DReg("$9"), DImm(0)])
+        lo, hi = probe.immediate_range(machine, report.syntax, instr, 2)
+        assert (lo, hi) == (-32768, 32767)
+
+    def test_alpha_literal_eight_bit(self):
+        report = discovery_report("alpha")
+        machine = report.corpus.machine
+        instr = DInstr("addl", [DReg("$1"), DImm(0), DReg("$2")])
+        lo, hi = probe.immediate_range(machine, report.syntax, instr, 1)
+        assert (lo, hi) == (0, 255)
+
+    def test_x86_unrestricted(self):
+        report = discovery_report("x86")
+        machine = report.corpus.machine
+        instr = DInstr("addl", [DImm(0, "$"), DReg("%eax")])
+        lo, hi = probe.immediate_range(machine, report.syntax, instr, 0)
+        assert lo <= -(2**31) and hi >= 2**31 - 1
+
+    def test_synthesized_imm_rules_carry_ranges(self):
+        spec = discovery_report("sparc").spec
+        plus = spec.imm_rules.get("Plus")
+        assert plus is not None
+        assert plus.imm_range == (-4096, 4095)
+
+    def test_mips_imm_rules_carry_ranges(self):
+        spec = discovery_report("mips").spec
+        assert spec.imm_rules["Plus"].imm_range == (-32768, 32767)
+        assert spec.imm_rules["And"].imm_range == (0, 65535)

@@ -1,0 +1,155 @@
+"""E14 (paper Figure 15): the synthesized machine description.
+
+Figure 15 shows the generated SPARC BEG fragments: the register+offset
+addressing mode, the chain rules relating it to plain register
+addressing, the combined compare+branch rule with the [-4096, 4095]
+immediate CONDITION, and the `.mul` software-multiplication rule with
+its implicit %o0/%o1 arguments.
+"""
+
+import pytest
+
+from repro.discovery.asmmodel import DReg, Slot
+from tests.discovery.conftest import discovery_report
+
+
+class TestFig15Sparc:
+    def test_chain_rules_relate_offset_and_plain_modes(self, sparc_report):
+        chains = sparc_report.spec.chain_rules
+        assert len(chains) == 2
+        assert any("disp = 0" in c for c in chains)
+
+    def test_branch_rule_has_the_immediate_condition_analogue(self, sparc_report):
+        """Fig 15(d) pairs cmp+branch; the probed [-4096,4095] range
+        shows up on the immediate operator rules."""
+        spec = sparc_report.spec
+        assert spec.imm_rules["Plus"].imm_range == (-4096, 4095)
+        eq = spec.branch.rules["isEQ"]
+        assert [i.mnemonic for i in eq.instrs] == ["cmp", "be"]
+
+    def test_software_multiplication_rule(self, sparc_report):
+        """Fig 15(e): Mult emits `call .mul, 2` with the arguments staged
+        into the implicit %o0/%o1 and the result read from %o0."""
+        rule = sparc_report.spec.rules["Mult"]
+        mnemonics = [i.mnemonic for i in rule.instrs]
+        assert "call" in mnemonics
+        rendered = " ".join(
+            sparc_report.spec._render_template(i, sparc_report.spec.syntax)
+            for i in rule.instrs
+        )
+        assert ".mul" in rendered
+        assert "%o0" in rendered and "%o1" in rendered
+
+    def test_hardwired_g0_noted_with_its_value(self, sparc_report):
+        """The paper admits it does NOT test for hardwired registers
+        (section 7.2); we close that gap and even probe the constant."""
+        notes = sparc_report.spec.register_notes
+        assert notes.get("%g0") == "hardwired to 0"
+        assert "%g0" not in sparc_report.spec.allocatable
+
+
+class TestSpecContents:
+    def test_all_ten_binary_operators_have_rules(self, report):
+        expected = {"Plus", "Minus", "Mult", "Div", "Mod", "And", "Or", "Xor", "Shl", "Shr"}
+        assert expected <= set(report.spec.rules)
+
+    def test_unary_rules(self, report):
+        assert "Neg" in report.spec.rules
+        assert "Not" in report.spec.rules
+
+    def test_rules_are_semantically_and_runtime_verified(self, report):
+        for ir_op, rule in report.spec.rules.items():
+            assert rule.verified, f"{report.target}/{ir_op} failed the Combiner check"
+            assert getattr(rule, "runtime_verified", False), f"{report.target}/{ir_op}"
+
+    def test_vax_mod_rule_is_a_multi_instruction_combination(self, vax_report):
+        """The VAX has no remainder instruction: the Combiner's output is
+        a div/mul/sub expansion."""
+        rule = vax_report.spec.rules["Mod"]
+        assert len(rule.instrs) >= 3
+        mnemonics = [i.mnemonic for i in rule.instrs]
+        assert "divl3" in mnemonics
+
+    def test_x86_division_keeps_the_implicit_register_pipeline(self, x86_report):
+        rule = x86_report.spec.rules["Div"]
+        mnemonics = [i.mnemonic for i in rule.instrs]
+        assert "cltd" in mnemonics and "idivl" in mnemonics
+        assert rule.result_literal == "%eax"
+        assert x86_report.spec.rules["Mod"].result_literal == "%edx"
+
+    def test_two_address_targets_flag_their_rules(self, x86_report):
+        assert getattr(x86_report.spec.rules["Plus"], "two_address", False)
+
+    def test_three_address_targets_do_not(self, mips_report):
+        assert not getattr(mips_report.spec.rules["Plus"], "two_address", False)
+
+    def test_load_store_templates_round_trip_slots(self, report):
+        spec = report.spec
+        load_slots = {
+            op.name
+            for instr in spec.load_template
+            for op in instr.operands
+            if isinstance(op, Slot)
+        }
+        store_slots = {
+            op.name
+            for instr in spec.store_template
+            for op in instr.operands
+            if isinstance(op, Slot)
+        }
+        assert load_slots == {"slot", "dest"}
+        assert store_slots == {"src", "slot"}
+
+    def test_vax_load_template_avoids_the_mcoml_lookalike(self, vax_report):
+        """mcoml looks like an identity move inside the AND expansion;
+        the runtime round trip must have rejected it."""
+        mnemonics = [i.mnemonic for i in vax_report.spec.load_template]
+        assert mnemonics == ["movl"]
+
+    def test_allocatable_registers_are_sane(self, report):
+        spec = report.spec
+        assert len(spec.allocatable) >= 3
+        # Frame bases and protocol registers are never allocatable.
+        frame_bases = {m.base for m in report.frame_model.slots if m.base}
+        assert not frame_bases & set(spec.allocatable)
+        if spec.call and spec.call.result_reg:
+            assert spec.call.result_reg not in spec.allocatable
+
+    def test_render_beg_resembles_figure_15(self, report):
+        text = report.spec.render_beg()
+        assert "RULE Mult" in text
+        assert "EMIT {" in text
+        assert "CONDITION" in text
+        assert "REGISTERS" in text
+
+    def test_spec_summary_is_json_friendly(self, report):
+        import json
+
+        summary = report.spec.summary()
+        assert json.dumps(summary)
+        assert summary["target"] == report.target
+
+
+class TestDriverReport:
+    def test_phases_all_timed(self, report):
+        names = [t.name for t in report.timings]
+        for expected in (
+            "enquire",
+            "assembler syntax",
+            "sample generation",
+            "mutation analysis",
+            "reverse interpretation",
+            "synthesis",
+        ):
+            assert expected in names
+
+    def test_summary_renders(self, report):
+        text = report.render_summary()
+        assert report.target in text
+        assert "instructions_discovered" in text
+
+    def test_discovery_is_execution_hungry(self, report):
+        """Mutation analysis is the dominant cost: thousands of target
+        executions (the paper's "several hours" on 1997 hardware)."""
+        assert report.machine_stats.executions > 500
+        assert report.machine_stats.compilations > 100

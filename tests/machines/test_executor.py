@@ -1,0 +1,119 @@
+"""Executor behaviour: control flow, calls, builtins, failure modes."""
+
+import pytest
+
+from repro.machines.machine import RemoteMachine
+
+
+@pytest.fixture(scope="module")
+def x86():
+    return RemoteMachine("x86")
+
+
+@pytest.fixture(scope="module")
+def sparc():
+    return RemoteMachine("sparc")
+
+
+def run(machine, body, data=""):
+    text = ""
+    if data:
+        text += ".data\n" + data + "\n"
+    text += ".text\n.globl main\nmain:\n" + body + "\n"
+    return machine.run_asm([text])
+
+
+def test_return_from_main_halts_cleanly(x86):
+    result = run(x86, "movl $1, %eax\nret")
+    assert result.ok
+
+
+def test_fall_off_end_reported(x86):
+    result = run(x86, "movl $1, %eax")
+    assert not result.ok
+    assert "fell off" in result.error
+
+
+def test_exit_code(x86):
+    result = run(x86, "pushl $3\ncall exit")
+    assert result.ok
+    assert result.exit_code == 3
+
+
+def test_division_by_zero_is_an_error(x86):
+    result = run(x86, "movl $0, %ebx\nmovl $1, %eax\ncltd\nidivl %ebx")
+    assert not result.ok
+    assert "zero" in result.error
+
+
+def test_infinite_loop_runs_out_of_fuel():
+    machine = RemoteMachine("x86", fuel=1000)
+    result = run(machine, "spin: jmp spin")
+    assert not result.ok
+    assert "fuel" in result.error
+
+
+def test_undefined_main_is_an_error(x86):
+    result = x86.run_asm([".text\nnotmain: nop\n"])
+    assert not result.ok
+
+
+def test_hardwired_register_reads_zero(sparc):
+    result = run(
+        sparc,
+        "set 5, %g1\nadd %g0, %g0, %g1\nmov %g1, %o1\n"
+        "set fmt, %o0\ncall printf, 2\nnop\ncall exit, 1\nmov 0, %o0",
+        data='fmt: .asciz "%i\\n"',
+    )
+    assert result.output == "0\n"
+
+
+def test_hardwired_register_ignores_writes(sparc):
+    result = run(
+        sparc,
+        "set 5, %g0\nmov %g0, %o1\n"
+        "set fmt, %o0\ncall printf, 2\nnop\ncall exit, 1\nmov 0, %o0",
+        data='fmt: .asciz "%i\\n"',
+    )
+    assert result.output == "0\n"
+
+
+def test_sparc_call_delay_slot_executes_before_transfer(sparc):
+    # The mov in the delay slot must set up %o1 before printf runs.
+    result = run(
+        sparc,
+        "set fmt, %o0\ncall printf, 2\nmov 42, %o1\ncall exit, 1\nmov 0, %o0",
+        data='fmt: .asciz "%i\\n"',
+    )
+    assert result.output == "42\n"
+
+
+def test_printf_conversions(x86):
+    result = run(
+        x86,
+        "pushl $-7\npushl $65\npushl $-7\npushl $fmt\ncall printf\n"
+        "addl $16, %esp\npushl $0\ncall exit",
+        data='fmt: .asciz "%i %c %u"',
+    )
+    assert result.ok
+    assert result.output == "-7 A 4294967289"
+
+
+def test_printf_string_conversion(x86):
+    result = run(
+        x86,
+        "pushl $msg\npushl $fmt\ncall printf\naddl $8, %esp\npushl $0\ncall exit",
+        data='fmt: .asciz "[%s]"\nmsg: .asciz "ok"',
+    )
+    assert result.output == "[ok]"
+
+
+def test_execution_never_raises_on_bad_jump(x86):
+    result = run(x86, "movl $99999, %eax\npushl %eax\nret")
+    assert not result.ok
+
+
+def test_stats_count_executions(x86):
+    before = x86.stats.executions
+    run(x86, "pushl $0\ncall exit")
+    assert x86.stats.executions == before + 1

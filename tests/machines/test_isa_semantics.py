@@ -1,0 +1,207 @@
+"""Per-instruction semantics of every simulated ISA.
+
+Each case runs a tiny assembly snippet on the target and checks the
+printed result; together they pin the ground truth the discovery unit is
+supposed to rediscover.
+"""
+
+import pytest
+
+from repro.machines.machine import RemoteMachine
+
+_MACHINES = {}
+
+
+def run_snippet(target, body, fmt_args=1):
+    if target not in _MACHINES:
+        _MACHINES[target] = RemoteMachine(target)
+    machine = _MACHINES[target]
+    print_block = {
+        "x86": "pushl %eax\npushl $fmt\ncall printf\naddl $8, %esp\npushl $0\ncall exit",
+        "mips": "move $5, $8\nla $4, fmt\njal printf\nli $4, 0\njal exit",
+        "sparc": "mov %l0, %o1\nset fmt, %o0\ncall printf, 2\nnop\ncall exit, 1\nmov 0, %o0",
+        "alpha": "addl $1, 0, $17\nlda $16, fmt\njsr $26, printf\nldiq $16, 0\njsr $26, exit",
+        "vax": "pushl r0\npushl $fmt\ncalls $2, printf\npushl $0\ncalls $1, exit",
+        "m68k": (
+            "sub.l #4, sp\nmove.l d0, (sp)\nsub.l #4, sp\nmove.l #fmt, (sp)\n"
+            "jsr printf\nadd.l #8, sp\nsub.l #4, sp\nmove.l #0, (sp)\njsr exit"
+        ),
+    }[target]
+    text = (
+        '.data\nfmt: .asciz "%i\\n"\n.text\n.globl main\nmain:\n'
+        + body
+        + "\n"
+        + print_block
+        + "\n"
+    )
+    result = machine.run_asm([text])
+    assert result.ok, result.error
+    return int(result.output.strip())
+
+
+# result register per target used by the print block above
+X86, MIPS, SPARC, ALPHA, VAX, M68K = "x86", "mips", "sparc", "alpha", "vax", "m68k"
+
+X86_CASES = [
+    ("movl $7, %eax", 7),
+    ("movl $5, %eax\naddl $3, %eax", 8),
+    ("movl $5, %eax\nsubl $9, %eax", -4),
+    ("movl $6, %eax\nimull $7, %eax", 42),
+    ("movl $60, %eax\nandl $23, %eax", 20),
+    ("movl $40, %eax\norl $23, %eax", 63),
+    ("movl $60, %eax\nxorl $23, %eax", 43),
+    ("movl $3, %eax\nsall $4, %eax", 48),
+    ("movl $-64, %eax\nsarl $3, %eax", -8),
+    ("movl $-1, %eax\nshrl $28, %eax", 15),
+    ("movl $9, %eax\nnegl %eax", -9),
+    ("movl $9, %eax\nnotl %eax", -10),
+    ("movl $8, %eax\nincl %eax\ndecl %eax\nincl %eax", 9),
+    ("movl $34117, %eax\nmovl $109, %ebx\ncltd\nidivl %ebx", 313),
+    ("movl $-7, %eax\nmovl $2, %ebx\ncltd\nidivl %ebx", -3),
+    ("movl $4, %ecx\nmovl $3, %eax\nsall %ecx, %eax", 48),
+    ("pushl $31\npopl %eax", 31),
+    ("movl $10, %eax\nleal 5(%eax), %eax", 15),
+    ("movl $2, %eax\ncmpl $3, %eax\njl L1\nmovl $0, %eax\njmp L2\nL1: movl $1, %eax\nL2:", 1),
+    ("movl $3, %eax\ncmpl $3, %eax\nje L1\nmovl $0, %eax\njmp L2\nL1: movl $1, %eax\nL2:", 1),
+]
+
+MIPS_CASES = [
+    ("li $8, 7", 7),
+    ("li $9, 5\nli $10, 3\naddu $8, $9, $10", 8),
+    ("li $9, 5\naddiu $8, $9, -9", -4),
+    ("li $9, 6\nli $10, 7\nmul $8, $9, $10", 42),
+    ("li $9, 34117\nli $10, 109\ndiv $8, $9, $10", 313),
+    ("li $9, 34118\nli $10, 109\nrem $8, $9, $10", 1),
+    ("li $9, 60\nandi $8, $9, 23", 20),
+    ("li $9, 40\nori $8, $9, 23", 63),
+    ("li $9, 60\nxori $8, $9, 23", 43),
+    ("li $9, 3\nsll $8, $9, 4", 48),
+    ("li $9, -64\nsra $8, $9, 3", -8),
+    ("li $9, -1\nsrl $8, $9, 28", 15),
+    ("li $9, 9\nnegu $8, $9", -9),
+    ("li $9, 9\nnot $8, $9", -10),
+    ("li $9, 2\nli $10, 3\nslt $8, $9, $10", 1),
+    ("li $9, 2\nli $10, 3\nli $8, 0\nblt $9, $10, L1\nj L2\nL1: li $8, 1\nL2:", 1),
+    ("li $9, 5\nli $10, 5\nli $8, 0\nbeq $9, $10, L1\nj L2\nL1: li $8, 1\nL2:", 1),
+    ("li $9, 77\nsw $9, 64($sp)\nlw $8, 64($sp)", 77),
+]
+
+SPARC_CASES = [
+    ("mov 7, %l0", 7),
+    ("set 34117, %l0", 34117),
+    ("mov 5, %l1\nadd %l1, 3, %l0", 8),
+    ("mov 5, %l1\nmov 9, %l2\nsub %l1, %l2, %l0", -4),
+    ("mov 60, %l1\nand %l1, 23, %l0", 20),
+    ("mov 40, %l1\nor %l1, 23, %l0", 63),
+    ("mov 60, %l1\nxor %l1, 23, %l0", 43),
+    ("mov 3, %l1\nsll %l1, 4, %l0", 48),
+    ("mov -64, %l1\nsra %l1, 3, %l0", -8),
+    ("set -1, %l1\nsrl %l1, 28, %l0", 15),
+    ("mov 9, %l1\nneg %l1, %l0", -9),
+    ("mov 9, %l1\nnot %l1, %l0", -10),
+    ("mov 5, %l1\nandn %l1, 1, %l0", 4),
+    ("mov 6, %o0\nmov 7, %o1\ncall .mul, 2\nnop\nmov %o0, %l0", 42),
+    ("set 34117, %o0\nmov 109, %o1\ncall .div, 2\nnop\nmov %o0, %l0", 313),
+    ("set 34118, %o0\nmov 109, %o1\ncall .rem, 2\nnop\nmov %o0, %l0", 1),
+    ("mov 2, %l1\ncmp %l1, 3\nbl L1\nmov 0, %l0\nba L2\nL1: mov 1, %l0\nL2:", 1),
+    ("mov 77, %l1\nst %l1, [%fp-64]\nld [%fp-64], %l0", 77),
+    ("add %g0, %g0, %l0", 0),  # hardwired zero
+]
+
+ALPHA_CASES = [
+    ("ldiq $1, 7\naddl $1, 0, $1", 7),
+    ("ldiq $1, 5\nldiq $2, 3\naddl $1, $2, $1", 8),
+    ("ldiq $1, 5\nldiq $2, 9\nsubl $1, $2, $1", -4),
+    ("ldiq $1, 6\nmull $1, 7, $1", 42),
+    ("ldiq $1, 34117\nldiq $2, 109\ndivl $1, $2, $1", 313),
+    ("ldiq $1, 34118\nldiq $2, 109\nreml $1, $2, $1", 1),
+    ("ldiq $1, 60\nand $1, 23, $1", 20),
+    ("ldiq $1, 40\nbis $1, 23, $1", 63),
+    ("ldiq $1, 60\nxor $1, 23, $1", 43),
+    ("ldiq $1, 3\nsll $1, 4, $1", 48),
+    ("ldiq $1, -64\nsra $1, 3, $1", -8),
+    ("ldiq $1, 9\nnegl $1, $1", -9),
+    ("ldiq $1, 9\nornot $31, $1, $1", -10),
+    ("ldiq $1, 2\ncmplt $1, 3, $1", 1),
+    ("ldiq $1, 3\ncmple $1, 3, $1", 1),
+    ("ldiq $1, 3\ncmpeq $1, 4, $1", 0),
+    ("ldiq $2, 2\nldiq $1, 0\nbne $2, L1\nbr L2\nL1: ldiq $1, 1\nL2:", 1),
+    ("ldiq $2, 77\nstq $2, 64($30)\nldq $1, 64($30)", 77),
+    ("addl $31, $31, $1", 0),  # hardwired zero
+]
+
+VAX_CASES = [
+    ("movl $7, r0", 7),
+    ("movl $5, r0\naddl2 $3, r0", 8),
+    ("movl $5, r0\nsubl2 $9, r0", -4),
+    ("movl $9, r1\nmovl $5, r2\nsubl3 r1, r2, r0", -4),  # dif = min - sub
+    ("movl $6, r0\nmull2 $7, r0", 42),
+    ("movl $109, r1\nmovl $34117, r2\ndivl3 r1, r2, r0", 313),
+    ("movl $34117, r0\ndivl2 $109, r0", 313),
+    ("movl $40, r1\nbisl3 $23, r1, r0", 63),
+    ("movl $60, r1\nxorl3 $23, r1, r0", 43),
+    ("movl $2, r1\nbicl3 r1, $7, r0", 5),  # dst = src & ~mask
+    ("movl $3, r1\nashl $4, r1, r0", 48),
+    ("movl $-64, r1\nashl $-3, r1, r0", -8),  # negative count shifts right
+    ("movl $9, r1\nmnegl r1, r0", -9),
+    ("movl $9, r1\nmcoml r1, r0", -10),
+    ("clrl r0\nmovl $5, r1\ntstl r1\njeql L1\nmovl $1, r0\nL1:", 1),
+    ("clrl r0\nmovl $2, r1\ncmpl r1, $3\njlss L1\njbr L2\nL1: movl $1, r0\nL2:", 1),
+    ("movl $77, r1\nmovl r1, -64(fp)\nmovl -64(fp), r0", 77),
+    ("movl $10, r1\nmoval 5(r1), r0", 15),
+    ("pushl $31\nmovl (sp), r0", 31),
+]
+
+
+def _param(cases, target, result_setup):
+    return [
+        pytest.param(target, body + ("\n" + result_setup if result_setup else ""), want,
+                     id=f"{target}-{i}")
+        for i, (body, want) in enumerate(cases)
+    ]
+
+
+M68K_CASES = [
+    ("move.l #7, d0", 7),
+    ("move.l #5, d0\nadd.l #3, d0", 8),
+    ("move.l #5, d0\nsub.l #9, d0", -4),
+    ("move.l #6, d0\nmuls.l #7, d0", 42),
+    ("move.l #34117, d0\ndivs.l #109, d0", 313),
+    ("move.l #60, d0\nand.l #23, d0", 20),
+    ("move.l #40, d0\nor.l #23, d0", 63),
+    ("move.l #60, d0\neor.l #23, d0", 43),
+    ("move.l #3, d0\nlsl.l #4, d0", 48),
+    ("move.l #-64, d0\nasr.l #3, d0", -8),
+    ("move.l #-1, d0\nlsr.l #4, d0", 268435455),
+    ("move.l #9, d0\nneg.l d0", -9),
+    ("move.l #9, d0\nnot.l d0", -10),
+    ("move.l #12, d1\nmove.l #3, d0\nlsl.l d1, d0", 12288),
+    ("move.l #2, d0\ncmp.l #3, d0\nblt L1\nmove.l #0, d0\nbra L2\nL1: move.l #1, d0\nL2:", 1),
+    ("move.l #77, d1\nmove.l d1, -64(fp)\nmove.l -64(fp), d0", 77),
+    ("link a5, #-16\nmove.l #5, -4(a5)\nmove.l -4(a5), d0\nunlk a5", 5),
+]
+
+ALL = (
+    _param(X86_CASES, X86, "")
+    + _param(MIPS_CASES, MIPS, "")
+    + _param(SPARC_CASES, SPARC, "")
+    + _param(ALPHA_CASES, ALPHA, "")
+    + _param(VAX_CASES, VAX, "")
+    + _param(M68K_CASES, M68K, "")
+)
+
+
+@pytest.mark.parametrize("target,body,want", ALL)
+def test_instruction_semantics(target, body, want):
+    # Route the value into the register the print block reads.
+    route = {
+        "x86": "",  # results already in %eax
+        "mips": "move $8, $8",
+        "sparc": "",
+        "alpha": "addl $1, 0, $1",
+        "vax": "",
+        "m68k": "",
+    }[target]
+    if route:
+        body = body + "\n" + route
+    assert run_snippet(target, body) == want

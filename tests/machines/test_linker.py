@@ -1,0 +1,90 @@
+"""Linker behaviour: symbol resolution, locality, data layout."""
+
+import pytest
+
+from repro.errors import LinkerError
+from repro.machines.machine import RemoteMachine
+
+
+@pytest.fixture(scope="module")
+def x86():
+    return RemoteMachine("x86")
+
+
+def test_separate_compilation_with_local_labels(x86):
+    # Both objects define a local label L1; they must not collide.
+    a = x86.assemble(
+        ".text\n.globl main\nmain:\nL1: call helper\npushl %eax\npushl $0\ncall exit\n"
+    )
+    b = x86.assemble(".text\n.globl helper\nhelper:\nL1: movl $7, %eax\nret\n")
+    result = x86.execute(x86.link([a, b]))
+    assert result.ok
+    assert result.exit_code == 0
+
+
+def test_undefined_symbol_is_a_link_error(x86):
+    obj = x86.assemble(".text\n.globl main\nmain: call nowhere\n")
+    with pytest.raises(LinkerError):
+        x86.link([obj])
+
+
+def test_duplicate_exported_symbol_is_a_link_error(x86):
+    a = x86.assemble(".text\n.globl main\nmain: nop\n")
+    b = x86.assemble(".text\n.globl main\nmain: nop\n")
+    with pytest.raises(LinkerError):
+        x86.link([a, b])
+
+
+def test_globals_shared_across_objects(x86):
+    a = x86.assemble(
+        ".data\n.globl z\n.align 4\nz: .long 5\n"
+        ".text\n.globl main\nmain:\ncall bump\npushl z\ncall exit\n"
+    )
+    b = x86.assemble(".text\n.globl bump\nbump:\naddl $2, z\nret\n")
+    result = x86.execute(x86.link([a, b]))
+    assert result.exit_code == 7
+
+
+def test_comm_reserves_zeroed_space(x86):
+    a = x86.assemble(".data\n.comm shared,4\n.text\n.globl main\nmain:\npushl shared\ncall exit\n")
+    result = x86.execute(x86.link([a]))
+    assert result.exit_code == 0
+
+
+def test_builtins_resolve(x86):
+    obj = x86.assemble(".text\n.globl main\nmain:\npushl $0\ncall exit\n")
+    result = x86.execute(x86.link([obj]))
+    assert result.ok
+
+
+def test_linking_does_not_mutate_objects(x86):
+    init = x86.assemble(".text\n.globl helper\nhelper: movl $3, %eax\nret\n")
+    main1 = x86.assemble(".text\n.globl main\nmain: call helper\npushl %eax\ncall exit\n")
+    exe1 = x86.link([main1, init])
+    exe2 = x86.link([main1, init])  # same handles reused
+    assert x86.execute(exe1).exit_code == 3
+    assert x86.execute(exe2).exit_code == 3
+
+
+def test_cross_isa_link_rejected(x86):
+    mips = RemoteMachine("mips")
+    obj = mips.assemble(".text\n.globl main\nmain: nop\n")
+    with pytest.raises(LinkerError):
+        x86.link([obj])
+
+
+def test_data_labels_resolve_to_addresses(x86):
+    obj = x86.assemble(
+        ".data\nv: .long 41\n.text\n.globl main\nmain:\n"
+        "movl v, %eax\naddl $1, %eax\npushl %eax\ncall exit\n"
+    )
+    assert x86.execute(x86.link([obj])).exit_code == 42
+
+
+def test_symbolic_data_word(x86):
+    # A data word holding the address of another datum.
+    obj = x86.assemble(
+        ".data\nv: .long 9\np: .long v\n.text\n.globl main\nmain:\n"
+        "movl p, %eax\nmovl (%eax), %ebx\npushl %ebx\ncall exit\n"
+    )
+    assert x86.execute(x86.link([obj])).exit_code == 9

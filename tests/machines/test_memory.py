@@ -1,0 +1,71 @@
+"""Memory model: endianness, sizes, strings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.machines.executor import Memory
+
+
+def test_little_endian_layout():
+    mem = Memory("little")
+    mem.store(100, 0x01020304, 4)
+    assert mem.load(100, 1) == 0x04
+    assert mem.load(103, 1) == 0x01
+
+
+def test_big_endian_layout():
+    mem = Memory("big")
+    mem.store(100, 0x01020304, 4)
+    assert mem.load(100, 1) == 0x01
+    assert mem.load(103, 1) == 0x04
+
+
+def test_uninitialised_reads_zero():
+    assert Memory("little").load(12345, 4) == 0
+
+
+def test_signed_load():
+    mem = Memory("little")
+    mem.store(0, -5, 4)
+    assert mem.load(0, 4, signed=True) == -5
+    assert mem.load(0, 4) == 0xFFFFFFFB
+
+
+def test_bad_endianness_rejected():
+    with pytest.raises(ValueError):
+        Memory("middle")
+
+
+def test_cstring_round_trip():
+    mem = Memory("little")
+    mem.store_bytes(50, b"hello\0")
+    assert mem.load_cstring(50) == "hello"
+
+
+def test_unterminated_cstring_raises():
+    mem = Memory("little")
+    mem.store_bytes(0, bytes([65] * 5000))
+    with pytest.raises(ExecutionError):
+        mem.load_cstring(0)
+
+
+def test_copy_is_independent():
+    mem = Memory("little")
+    mem.store(0, 1, 4)
+    clone = mem.copy()
+    clone.store(0, 2, 4)
+    assert mem.load(0, 4) == 1
+    assert clone.load(0, 4) == 2
+
+
+@given(
+    value=st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    size=st.sampled_from([1, 2, 4, 8]),
+    endian=st.sampled_from(["little", "big"]),
+)
+def test_store_load_round_trip(value, size, endian):
+    mem = Memory(endian)
+    mem.store(1000, value, size)
+    assert mem.load(1000, size) == value & ((1 << (8 * size)) - 1)

@@ -1,0 +1,58 @@
+"""Operand model: signature matching and Bare coercion."""
+
+import pytest
+
+from repro.machines.operands import (
+    Bare,
+    Imm,
+    Lab,
+    Mem,
+    Reg,
+    Sym,
+    coerce_to_signature,
+    matches_signature,
+    operand_kind,
+)
+
+
+class TestKinds:
+    def test_kinds(self):
+        assert operand_kind(Reg("%eax")) == "r"
+        assert operand_kind(Imm(5)) == "i"
+        assert operand_kind(Mem(0, "%ebp")) == "m"
+        assert operand_kind(Lab(Sym("L1"))) == "l"
+
+    def test_non_operand_rejected(self):
+        with pytest.raises(TypeError):
+            operand_kind("not an operand")
+
+
+class TestCoercion:
+    def test_bare_becomes_label_when_allowed(self):
+        out = coerce_to_signature([Bare("L1")], ("l",))
+        assert out == [Lab(Sym("L1"))]
+
+    def test_bare_becomes_memory_when_allowed(self):
+        out = coerce_to_signature([Bare("z1")], ("m",))
+        assert out == [Mem(Sym("z1"), None)]
+
+    def test_label_beats_memory(self):
+        out = coerce_to_signature([Bare("x")], ("lm",))
+        assert isinstance(out[0], Lab)
+
+    def test_bare_fails_for_register_only(self):
+        assert coerce_to_signature([Bare("x")], ("r",)) is None
+
+    def test_arity_mismatch(self):
+        assert coerce_to_signature([Imm(1)], ("i", "r")) is None
+        assert not matches_signature([], ("r",))
+
+    def test_union_codes(self):
+        assert matches_signature([Imm(1), Reg("%eax")], ("rim", "r"))
+        assert matches_signature([Mem(0, "%ebp"), Reg("%eax")], ("rim", "r"))
+        assert not matches_signature([Lab(Sym("L")), Reg("%eax")], ("rim", "r"))
+
+    def test_coercion_preserves_non_bare_operands(self):
+        ops = [Imm(7), Reg("%eax")]
+        out = coerce_to_signature(ops, ("i", "r"))
+        assert out == ops

@@ -1,0 +1,80 @@
+"""Unit and property tests for word-precision arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import wordops
+
+WORDS = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+BITS = st.sampled_from([8, 16, 32, 64])
+
+
+def test_mask_truncates():
+    assert wordops.mask(0x1_0000_0001, 32) == 1
+    assert wordops.mask(-1, 32) == 0xFFFFFFFF
+
+
+def test_to_signed_round_trip():
+    assert wordops.to_signed(0xFFFFFFFF, 32) == -1
+    assert wordops.to_signed(0x7FFFFFFF, 32) == 2**31 - 1
+    assert wordops.to_signed(0x80000000, 32) == -(2**31)
+
+
+@pytest.mark.parametrize(
+    "a,b,q,r",
+    [
+        (7, 2, 3, 1),
+        (-7, 2, -3, -1),
+        (7, -2, -3, 1),
+        (-7, -2, 3, -1),
+        (0, 5, 0, 0),
+    ],
+)
+def test_c_division_truncates_toward_zero(a, b, q, r):
+    assert wordops.c_div(a, b) == q
+    assert wordops.c_mod(a, b) == r
+
+
+@given(a=WORDS, b=WORDS)
+def test_c_div_mod_identity(a, b):
+    if b == 0:
+        return
+    assert wordops.c_div(a, b) * b + wordops.c_mod(a, b) == a
+
+
+@given(a=WORDS, b=WORDS, bits=BITS)
+def test_add_sub_inverse(a, b, bits):
+    s = wordops.add(a, b, bits)
+    assert wordops.sub(s, b, bits) == wordops.mask(a, bits)
+
+
+@given(a=WORDS, bits=BITS)
+def test_neg_is_sub_from_zero(a, bits):
+    assert wordops.neg(a, bits) == wordops.sub(0, a, bits)
+
+
+@given(a=WORDS, bits=BITS)
+def test_not_is_involution(a, bits):
+    assert wordops.bit_not(wordops.bit_not(a, bits), bits) == wordops.mask(a, bits)
+
+
+@given(a=WORDS, n=st.integers(min_value=0, max_value=31))
+def test_shifts_match_python_semantics(a, n):
+    assert wordops.shl(a, n, 32) == wordops.mask(a << n, 32)
+    signed = wordops.to_signed(a, 32)
+    assert wordops.to_signed(wordops.shr_arith(a, n, 32), 32) == signed >> n
+
+
+@given(a=WORDS, b=WORDS)
+def test_mul_matches_signed_product(a, b):
+    assert wordops.to_signed(wordops.mul(a, b, 64), 64) == a * b
+
+
+@given(a=WORDS, b=WORDS)
+def test_sdiv_smod_word_identity(a, b):
+    if wordops.mask(b, 32) == 0:
+        return
+    q = wordops.to_signed(wordops.sdiv(a, b, 32), 32)
+    r = wordops.to_signed(wordops.smod(a, b, 32), 32)
+    assert q * wordops.to_signed(b, 32) + r == wordops.to_signed(a, 32)

@@ -1,0 +1,79 @@
+"""The command-line interface and the artifact writer."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.reporting import write_report
+from tests.discovery.conftest import discovery_report
+
+
+class TestCli:
+    def test_targets(self, capsys):
+        assert main(["targets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("x86", "mips", "sparc", "alpha", "vax"):
+            assert name in out
+        assert "kea.cs.auckland.ac.nz" in out  # the paper's example host
+
+    def test_run_program(self, tmp_path, capsys):
+        program = tmp_path / "p.a"
+        program.write_text("var x; x := 313 * 109; print x;")
+        assert main(["run", "mips", "--program", str(program)]) == 0
+        assert capsys.readouterr().out == "34117\n"
+
+    def test_run_emit_asm(self, tmp_path, capsys):
+        program = tmp_path / "p.a"
+        program.write_text("print 7;")
+        assert main(["run", "vax", "--program", str(program), "--emit-asm"]) == 0
+        out = capsys.readouterr().out
+        assert ".globl main" in out
+        assert "calls" in out  # the discovered VAX call idiom
+
+    def test_retarget_validates(self, tmp_path, capsys):
+        program = tmp_path / "p.a"
+        program.write_text("var i; i := 0; while i < 3 do print i; i := i + 1; end")
+        assert main(["retarget", "alpha", "--program", str(program)]) == 0
+        out = capsys.readouterr().out
+        assert "0\n1\n2\n" in out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["discover", "pdp11"])
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        report = discovery_report("mips")
+        directory = tmp_path_factory.mktemp("report")
+        return directory, write_report(report, directory)
+
+    def test_beg_spec_written(self, artifacts):
+        directory, written = artifacts
+        spec = (directory / "mips.beg").read_text()
+        assert "RULE Mult" in spec
+
+    def test_semantics_table_written(self, artifacts):
+        directory, _written = artifacts
+        text = (directory / "mips.semantics.txt").read_text()
+        assert "mul(r,r,r)" in text
+
+    def test_summary_json(self, artifacts):
+        directory, _written = artifacts
+        summary = json.loads((directory / "mips.summary.json").read_text())
+        assert summary["target"] == "mips"
+        assert "phases" in summary and "mutation analysis" in summary["phases"]
+
+    def test_dfg_dot_files(self, artifacts):
+        directory, _written = artifacts
+        dots = list((directory / "dfg").glob("*.dot"))
+        assert len(dots) >= 8
+        assert any("mul" in p.name for p in dots)
+
+    def test_syntax_description(self, artifacts):
+        directory, _written = artifacts
+        text = (directory / "mips.syntax.txt").read_text()
+        assert "comment character" in text
+        assert "$sp" in text

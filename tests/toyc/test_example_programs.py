@@ -1,0 +1,38 @@
+"""The shipped language-A example programs run correctly everywhere."""
+
+import pathlib
+
+import pytest
+
+from repro.beg.codegen import GeneratedBackend
+from repro.beg.ir import eval_program
+from repro.toyc.frontend import parse
+from tests.discovery.conftest import TARGETS, discovery_report
+
+PROGRAMS_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples" / "programs"
+
+EXPECTED = {
+    "gcd.a": "67\n",
+    "collatz.a": "111\n",
+    "primes.a": "".join(
+        f"{n}\n" for n in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_reference_interpreter_output(name):
+    program = parse((PROGRAMS_DIR / name).read_text())
+    assert eval_program(program) == EXPECTED[name]
+
+
+@pytest.mark.parametrize("target", TARGETS)
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_native_output_on_every_target(target, name):
+    report = discovery_report(target)
+    backend = GeneratedBackend(report.spec)
+    program = parse((PROGRAMS_DIR / name).read_text())
+    asm = backend.compile_ir(program)
+    result = report.corpus.machine.run_asm([asm])
+    assert result.ok, result.error
+    assert result.output == EXPECTED[name]

@@ -1,0 +1,81 @@
+"""Language-A front end: parsing and lowering to intermediate code."""
+
+import pytest
+
+from repro.beg import ir
+from repro.errors import CompilerError
+from repro.toyc.frontend import parse
+
+
+def outputs(source, bits=32):
+    return ir.eval_program(parse(source), bits=bits)
+
+
+class TestParsing:
+    def test_variables_get_sequential_slots(self):
+        program = parse("var x, y, z; x := 1; print x;")
+        assert program.locals_used == 3
+
+    def test_precedence(self):
+        assert outputs("print 2 + 3 * 4;") == "14\n"
+        assert outputs("print (2 + 3) * 4;") == "20\n"
+        assert outputs("print 1 | 2 ^ 3 & 5;") == "3\n"
+        assert outputs("print 1 << 2 + 1;") == "8\n"  # + binds tighter than <<
+
+    def test_unary_minus_folds_constants(self):
+        program = parse("print -5;")
+        assert isinstance(program.stmts[0].value, ir.Const)
+        assert program.stmts[0].value.value == -5
+
+    def test_if_then_else(self):
+        src = "var x; x := 2; if x > 1 then print 1; else print 0; end"
+        assert outputs(src) == "1\n"
+
+    def test_while(self):
+        src = "var i; i := 3; while i > 0 do print i; i := i - 1; end"
+        assert outputs(src) == "3\n2\n1\n"
+
+    def test_comments(self):
+        assert outputs("# a comment\nprint 7; # trailing\n") == "7\n"
+
+    def test_nested_control_flow(self):
+        src = (
+            "var i, j; i := 0;"
+            "while i < 3 do"
+            "  j := 0;"
+            "  while j < 2 do j := j + 1; end"
+            "  if i == 1 then print j + i; end"
+            "  i := i + 1;"
+            "end"
+        )
+        assert outputs(src) == "3\n"
+
+    def test_program_always_ends_in_exit(self):
+        program = parse("print 1;")
+        assert isinstance(program.stmts[-1], ir.Exit)
+
+
+class TestErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(CompilerError):
+            parse("x := 5;")
+
+    def test_duplicate_variable(self):
+        with pytest.raises(CompilerError):
+            parse("var x; var x;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CompilerError):
+            parse("var x; x := 5")
+
+    def test_condition_requires_a_comparison(self):
+        with pytest.raises(CompilerError):
+            parse("var x; x := 1; if x then print 1; end")
+
+    def test_stray_character(self):
+        with pytest.raises(CompilerError):
+            parse("print @;")
+
+    def test_unterminated_if(self):
+        with pytest.raises(CompilerError):
+            parse("var x; x := 1; if x < 2 then print 1;")
