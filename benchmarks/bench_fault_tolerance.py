@@ -1,0 +1,109 @@
+"""Fault tolerance: discovery success and target-execution overhead as a
+function of the injected transient-fault rate.
+
+The paper's dominant cost is remote interactions ("the expensive
+mutation currency"), counted by the RemoteMachine invocation counters.
+These benchmarks quantify what resilience costs in that currency:
+
+* at fault rate 0 the resilience stack must be *free* -- identical
+  counters to an unwrapped run (the no-retry, single-vote fast path);
+* as the rate rises, retries and majority voting buy completion at a
+  measured multiple of the baseline execution count.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.beg.codegen import GeneratedBackend
+from repro.machines.faults import FaultyMachine
+from repro.machines.machine import RemoteMachine
+from repro.toyc.frontend import parse
+from repro.discovery.driver import ArchitectureDiscovery
+from repro.discovery.resilience import ResilienceConfig
+
+GCD = (
+    pathlib.Path(__file__).resolve().parents[1] / "examples" / "programs" / "gcd.a"
+).read_text()
+
+FAULT_RATES = (0.0, 0.05, 0.1, 0.2)
+
+_BASELINE = {}
+
+
+def _baseline(target):
+    """Invocation counters of a raw, unwrapped, fault-free discovery."""
+    if target not in _BASELINE:
+        report = ArchitectureDiscovery(RemoteMachine(target), resilience=False).run()
+        _BASELINE[target] = report.machine_stats
+    return _BASELINE[target]
+
+
+def _faulty_discovery(target, rate, seed=7):
+    machine = FaultyMachine(RemoteMachine(target), rate=rate, seed=seed)
+    config = ResilienceConfig(votes=3 if rate else 1)
+    report = ArchitectureDiscovery(machine, resilience=config).run()
+    return machine, report
+
+
+def _spec_correct(report):
+    backend = GeneratedBackend(report.spec)
+    asm = backend.compile_ir(parse(GCD))
+    return RemoteMachine(report.target).run_asm([asm]).output == "67\n"
+
+
+def test_zero_rate_has_zero_overhead(benchmark):
+    """The fast path: at fault rate 0 the wrapped run's counters equal
+    the unwrapped baseline's, verb for verb."""
+    base = _baseline("x86")
+
+    def run():
+        return _faulty_discovery("x86", 0.0)
+
+    machine, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = report.machine_stats
+    overhead = {
+        counter: getattr(stats, counter) - getattr(base, counter)
+        for counter in ("compilations", "assemblies", "links", "executions")
+    }
+    benchmark.extra_info.update(overhead)
+    assert all(delta == 0 for delta in overhead.values()), overhead
+    assert machine.fault_stats.injected == 0
+
+
+@pytest.mark.parametrize("rate", FAULT_RATES)
+def test_overhead_vs_fault_rate(benchmark, rate):
+    """Execution overhead and discovery success per fault rate."""
+    base = _baseline("x86")
+
+    def run():
+        return _faulty_discovery("x86", rate)
+
+    machine, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    executions = report.machine_stats.executions
+    benchmark.extra_info.update(
+        {
+            "fault_rate": rate,
+            "target_executions": executions,
+            "execution_overhead": round(executions / base.executions, 3),
+            "faults_injected": machine.fault_stats.injected,
+            "retries": report.retry_stats.retries,
+            "vote_runs": report.retry_stats.vote_runs,
+            "quarantined": len(report.quarantined),
+            "spec_correct": _spec_correct(report),
+        }
+    )
+    assert _spec_correct(report)
+
+
+@pytest.mark.parametrize("seed", (7, 19, 1997))
+def test_success_rate_across_fault_seeds(benchmark, seed):
+    """Completion is not a lucky seed: different fault schedules at the
+    acceptance rate (20%) all finish with a correct spec."""
+
+    def run():
+        return _faulty_discovery("mips", 0.2, seed=seed)
+
+    _machine, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["quarantined"] = len(report.quarantined)
+    assert _spec_correct(report)

@@ -1,13 +1,17 @@
 """Command-line interface.
 
     python -m repro discover <target> [--out DIR] [--seed N]
+                             [--flaky RATE] [--fault-seed N] [--max-retries N]
     python -m repro retarget <target>... --program FILE.a
     python -m repro run <target> --program FILE.a
     python -m repro targets
 
 Mirrors the paper's user story: the only inputs are the target machine
 ("its internet address") and the toolchain command lines -- here, the
-name of one of the five simulated machines.
+name of one of the five simulated machines.  ``--flaky`` simulates an
+unreliable network/toolchain (the deployment reality the resilience
+layer exists for): a seeded fraction of remote interactions drop, crash,
+time out, or return corrupted output.
 """
 
 from __future__ import annotations
@@ -25,11 +29,45 @@ def _cmd_targets(_args):
     return 0
 
 
-def _cmd_discover(args):
-    from repro.discovery.driver import ArchitectureDiscovery
-
+def _build_machine(args):
+    """The target machine, optionally behind a fault injector."""
     machine = RemoteMachine(args.target)
-    report = ArchitectureDiscovery(machine, seed=args.seed).run()
+    if getattr(args, "flaky", 0.0):
+        from repro.machines.faults import FaultyMachine
+
+        machine = FaultyMachine(machine, rate=args.flaky, seed=args.fault_seed)
+    return machine
+
+
+def _resilience_config(args):
+    from repro.discovery.resilience import ResilienceConfig
+
+    flaky = getattr(args, "flaky", 0.0)
+    return ResilienceConfig(
+        max_retries=args.max_retries,
+        # Voting costs executions; only pay for it when the target is
+        # declared flaky (at votes=1 the fast path adds zero overhead).
+        votes=3 if flaky else 1,
+    )
+
+
+def _cmd_discover(args):
+    from repro.discovery.driver import ArchitectureDiscovery, DiscoveryInterrupted
+
+    machine = _build_machine(args)
+    try:
+        report = ArchitectureDiscovery(
+            machine, seed=args.seed, resilience=_resilience_config(args)
+        ).run()
+    except DiscoveryInterrupted as exc:
+        print(f"discovery interrupted during '{exc.phase}': {exc.cause}", file=sys.stderr)
+        print(
+            f"completed phases: {', '.join(exc.checkpoint.completed) or '(none)'}",
+            file=sys.stderr,
+        )
+        if args.max_retries == 0:
+            print("hint: retries are disabled (--max-retries 0)", file=sys.stderr)
+        return 1
     print(report.render_summary())
     if args.out:
         from repro.reporting import write_report
@@ -80,6 +118,13 @@ def _cmd_run(args):
     return 0 if result.ok else 1
 
 
+def _fault_rate(text):
+    rate = float(text)
+    if not 0.0 <= rate <= 1.0:
+        raise argparse.ArgumentTypeError(f"rate must be in [0, 1], got {text}")
+    return rate
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -90,6 +135,25 @@ def main(argv=None):
     p_discover.add_argument("target", choices=target_names())
     p_discover.add_argument("--out", help="write artifacts to this directory")
     p_discover.add_argument("--seed", type=int, default=1997)
+    p_discover.add_argument(
+        "--flaky",
+        type=_fault_rate,
+        default=0.0,
+        metavar="RATE",
+        help="inject transient target faults at this rate (0..1)",
+    )
+    p_discover.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0xFA17,
+        help="seed for the deterministic fault plan",
+    )
+    p_discover.add_argument(
+        "--max-retries",
+        type=int,
+        default=4,
+        help="retries per remote interaction before quarantine",
+    )
 
     p_retarget = sub.add_parser(
         "retarget", help="retarget ac and validate a program on each target"

@@ -10,6 +10,15 @@ machine description ready for the back-end generator.
 This is the paper's Figure 1 retargeting entry point: the only inputs
 are the target machine handle (its "internet address") and, implicitly,
 the command lines its toolchain answers to.
+
+Because that target is reached over a network, the driver assumes it is
+*unreliable*: every remote verb is retried under a
+:class:`~repro.discovery.resilience.RetryPolicy`, samples whose probes
+fail terminally are **quarantined** (skipped and recorded, instead of
+aborting the run), and the pipeline itself is a checkpointable phase
+table -- a phase-level failure raises :class:`DiscoveryInterrupted`
+carrying a :class:`DiscoveryCheckpoint` that ``run(resume=...)`` picks
+up without redoing completed phases.
 """
 
 from __future__ import annotations
@@ -29,10 +38,14 @@ from repro.discovery.graphmatch import match_binary
 from repro.discovery.lexer import extract_region
 from repro.discovery.mutation import MutationEngine
 from repro.discovery.preprocess import Preprocessor
+from repro.discovery.resilience import ResilienceConfig, make_resilient
 from repro.discovery.reverse_interp import ReverseInterpreter
 from repro.discovery.syntax import DiscoveredSyntax
 from repro.discovery.synthesize import Synthesizer
-from repro.errors import DiscoveryError
+from repro.errors import DiscoveryError, TargetError
+
+#: per-sample phases translate these into quarantine instead of aborting
+_QUARANTINE_ERRORS = (DiscoveryError, TargetError)
 
 
 @dataclass
@@ -58,11 +71,14 @@ class DiscoveryReport:
     machine_stats: object = None
     probe_log: object = None
     notes: list = field(default_factory=list)
+    quarantined: list = field(default_factory=list)  # degraded-coverage record
+    retry_stats: object = None  # resilience.RetryStats, when wrapped
+    fault_stats: object = None  # faults.FaultStats, when injecting
 
     def summary(self):
         usable = sum(1 for s in self.corpus.samples if s.usable) if self.corpus else 0
         total = len(self.corpus.samples) if self.corpus else 0
-        return {
+        out = {
             "target": self.target,
             "word": f"{self.enquire.word_bits}-bit {self.enquire.endian}-endian",
             "comment_char": self.syntax.comment_char,
@@ -78,7 +94,20 @@ class DiscoveryReport:
             "call_protocol": self.call_protocol.describe() if self.call_protocol else "?",
             "target_executions": self.machine_stats.executions if self.machine_stats else 0,
             "total_seconds": round(sum(t.seconds for t in self.timings), 2),
+            "quarantined_samples": len(self.quarantined),
         }
+        if self.retry_stats is not None:
+            out["retried_calls"] = self.retry_stats.retries
+            out["transient_errors"] = self.retry_stats.transient_errors
+            out["vote_runs"] = self.retry_stats.vote_runs
+        if self.fault_stats is not None:
+            out["faults_injected"] = self.fault_stats.injected
+        if self.quarantined:
+            out["coverage"] = (
+                f"degraded: {usable}/{total} samples analysed, "
+                f"{len(self.quarantined)} quarantined"
+            )
+        return out
 
     def render_summary(self):
         lines = [f"=== architecture discovery report: {self.target} ==="]
@@ -87,120 +116,247 @@ class DiscoveryReport:
         lines.append("  phase timings:")
         for timing in self.timings:
             lines.append(f"    {timing.name:24s}: {timing.seconds:.2f}s")
+        if self.quarantined:
+            lines.append("  quarantined samples:")
+            for entry in self.quarantined:
+                lines.append(f"    {entry['sample']:24s}: {entry['reason']}")
         return "\n".join(lines)
 
 
-class ArchitectureDiscovery:
-    """End-to-end discovery against one RemoteMachine."""
+@dataclass
+class DiscoveryCheckpoint:
+    """Everything needed to resume an interrupted run: the partially
+    filled report plus the names of phases already completed."""
 
-    def __init__(self, machine, seed=1997, ri_budget=60_000, use_likelihood=True):
-        self.machine = machine
+    target: str
+    completed: list
+    report: DiscoveryReport
+    state: dict
+
+    def describe(self):
+        done = ", ".join(self.completed) or "(none)"
+        return f"checkpoint[{self.target}]: completed {done}"
+
+
+class DiscoveryInterrupted(DiscoveryError):
+    """A phase failed terminally; ``checkpoint`` resumes past the
+    completed prefix once the target recovers."""
+
+    def __init__(self, phase, cause, checkpoint):
+        super().__init__(f"discovery interrupted during {phase!r}: {cause}")
+        self.phase = phase
+        self.cause = cause
+        self.checkpoint = checkpoint
+
+
+class ArchitectureDiscovery:
+    """End-to-end discovery against one RemoteMachine.
+
+    The machine handle is wrapped in a
+    :class:`~repro.discovery.resilience.ResilientMachine` (retry +
+    circuit breaker + optional execution voting); pass a
+    :class:`ResilienceConfig` to tune the knobs.  With the default
+    config (``votes=1``) and a healthy target the wrapper adds zero
+    extra target interactions.
+    """
+
+    #: the phase table: (name, method) in execution order
+    PHASES = (
+        ("enquire", "_phase_enquire"),
+        ("assembler syntax", "_phase_syntax"),
+        ("sample generation", "_phase_generate"),
+        ("register discovery", "_phase_registers"),
+        ("region extraction", "_phase_extract"),
+        ("mutation analysis", "_phase_mutation"),
+        ("address mapping", "_phase_addresses"),
+        ("graph matching", "_phase_graphmatch"),
+        ("reverse interpretation", "_phase_reverse_interp"),
+        ("branch analysis", "_phase_branches"),
+        ("calling convention", "_phase_calling"),
+        ("frames and idioms", "_phase_frames"),
+        ("synthesis", "_phase_synthesize"),
+    )
+
+    def __init__(
+        self,
+        machine,
+        seed=1997,
+        ri_budget=60_000,
+        use_likelihood=True,
+        resilience=None,
+    ):
+        if resilience is False:  # escape hatch: measure the raw machine
+            self.resilience = None
+            self.machine = machine
+        else:
+            self.resilience = resilience or ResilienceConfig()
+            self.machine = make_resilient(machine, self.resilience)
         self.seed = seed
         self.ri_budget = ri_budget
         self.use_likelihood = use_likelihood
 
-    def run(self):
-        report = DiscoveryReport(target=self.machine.target)
+    def run(self, resume=None):
+        """Run all phases; pass ``resume=interrupted.checkpoint`` to
+        continue a run cut short by :class:`DiscoveryInterrupted`."""
+        if resume is not None:
+            if resume.target != self.machine.target:
+                raise DiscoveryError(
+                    f"checkpoint is for {resume.target!r}, "
+                    f"machine is {self.machine.target!r}"
+                )
+            report, completed, state = resume.report, list(resume.completed), resume.state
+        else:
+            report = DiscoveryReport(target=self.machine.target)
+            completed, state = [], {}
         clock = _Clock(report)
 
-        with clock("enquire"):
-            report.enquire = enquire(self.machine)
-        bits = report.enquire.word_bits
+        for name, method in self.PHASES:
+            if name in completed:
+                continue
+            try:
+                with clock(name):
+                    getattr(self, method)(report, state)
+            except _QUARANTINE_ERRORS as exc:
+                if isinstance(exc, DiscoveryInterrupted):
+                    raise
+                checkpoint = DiscoveryCheckpoint(
+                    target=self.machine.target,
+                    completed=list(completed),
+                    report=report,
+                    state=state,
+                )
+                raise DiscoveryInterrupted(name, exc, checkpoint) from exc
+            completed.append(name)
 
-        with clock("assembler syntax"):
-            log = probe.ProbeLog()
-            syntax = DiscoveredSyntax()
-            syntax.comment_char = probe.discover_comment_char(self.machine, log)
-            probe.discover_literal_syntax(self.machine, syntax, log)
-            probe.discover_loadimm(self.machine, syntax, log)
-            report.syntax = syntax
-            report.probe_log = log
+        self._finalise(report)
+        return report
 
-        with clock("sample generation"):
-            generator = SampleGenerator(self.machine, syntax, seed=self.seed)
-            corpus = generator.generate(word_bits=bits)
-            report.corpus = corpus
+    def _finalise(self, report):
+        report.machine_stats = self.machine.stats.snapshot()
+        policy = getattr(self.machine, "policy", None)
+        report.retry_stats = policy.stats if policy is not None else None
+        report.fault_stats = getattr(self.machine, "fault_stats", None)
+        if report.corpus is not None:
+            report.quarantined = [
+                {"sample": s.name, "reason": s.discarded}
+                for s in report.corpus.samples
+                if s.discarded and s.discarded.startswith("quarantined")
+            ]
 
-        with clock("register discovery"):
-            asms = [s.asm_text for s in corpus.samples if s.usable]
-            probe.discover_registers(self.machine, syntax, asms, log)
+    # -- quarantine helper --------------------------------------------
 
-        with clock("region extraction"):
-            for sample in corpus.samples:
-                if not sample.usable:
-                    continue
-                try:
-                    extract_region(sample, syntax)
-                except DiscoveryError as exc:
-                    sample.discard(f"extraction failed: {exc}")
+    @staticmethod
+    def _quarantine(sample, phase, exc):
+        sample.discard(f"quarantined ({phase}): {exc}")
 
-        engine = MutationEngine(corpus, word_bits=bits, seed=self.seed)
+    # -- phases --------------------------------------------------------
+
+    def _phase_enquire(self, report, state):
+        report.enquire = enquire(self.machine)
+
+    def _phase_syntax(self, report, state):
+        log = probe.ProbeLog()
+        syntax = DiscoveredSyntax()
+        syntax.comment_char = probe.discover_comment_char(self.machine, log)
+        probe.discover_literal_syntax(self.machine, syntax, log)
+        probe.discover_loadimm(self.machine, syntax, log)
+        report.syntax = syntax
+        report.probe_log = log
+
+    def _phase_generate(self, report, state):
+        generator = SampleGenerator(self.machine, report.syntax, seed=self.seed)
+        report.corpus = generator.generate(word_bits=report.enquire.word_bits)
+
+    def _phase_registers(self, report, state):
+        asms = [s.asm_text for s in report.corpus.samples if s.usable]
+        probe.discover_registers(self.machine, report.syntax, asms, report.probe_log)
+
+    def _phase_extract(self, report, state):
+        for sample in report.corpus.samples:
+            if not sample.usable:
+                continue
+            try:
+                extract_region(sample, report.syntax)
+            except DiscoveryError as exc:
+                sample.discard(f"extraction failed: {exc}")
+            except TargetError as exc:
+                self._quarantine(sample, "region extraction", exc)
+
+    def _phase_mutation(self, report, state):
+        engine = MutationEngine(
+            report.corpus, word_bits=report.enquire.word_bits, seed=self.seed
+        )
         report.engine = engine
         preprocessor = Preprocessor(engine)
-        with clock("mutation analysis"):
-            for sample in corpus.samples:
-                if not sample.usable:
-                    continue
-                try:
-                    preprocessor.process(sample)
-                except DiscoveryError as exc:
-                    sample.discard(f"preprocessing failed: {exc}")
-
-        with clock("address mapping"):
-            addr_map = discover_address_map(corpus)
-            report.addr_map = addr_map
-
-        with clock("graph matching"):
-            roles = {}
-            for sample in corpus.usable_samples():
-                if sample.kind in ("binary", "unary", "literal", "copy") and getattr(
-                    sample, "info", None
-                ):
-                    graph = build_dfg(sample, addr_map)
-                    matched = match_binary(sample, graph)
-                    for index, role in matched.roles.items():
-                        roles[(sample.name, index)] = role
-
-        with clock("reverse interpretation"):
-            interpreter = ReverseInterpreter(
-                corpus,
-                addr_map,
-                bits,
-                graph_roles=roles,
-                budget=self.ri_budget,
-                use_likelihood=self.use_likelihood,
-            )
-            report.extraction = interpreter.extract()
-
-        with clock("branch analysis"):
-            report.branch_model = BranchAnalysis(engine, addr_map, bits).analyse()
-
-        with clock("calling convention"):
+        for sample in report.corpus.samples:
+            if not sample.usable:
+                continue
             try:
-                report.call_protocol = CallAnalysis(engine, addr_map).analyse()
+                preprocessor.process(sample)
             except DiscoveryError as exc:
-                report.notes.append(f"calling convention: {exc}")
+                sample.discard(f"preprocessing failed: {exc}")
+            except TargetError as exc:
+                self._quarantine(sample, "mutation analysis", exc)
 
-        with clock("frames and idioms"):
-            frame = discover_frame(self.machine, syntax)
-            print_tpl, exit_tpl, data_lines = discover_idioms(corpus, addr_map)
-            frame.print_template = print_tpl
-            frame.exit_template = exit_tpl
-            frame.data_lines = data_lines
-            report.frame_model = frame
+    def _phase_addresses(self, report, state):
+        report.addr_map = discover_address_map(report.corpus)
 
-        with clock("synthesis"):
-            synthesizer = Synthesizer(
-                engine, addr_map, report.extraction, report.enquire, log
-            )
-            report.spec = synthesizer.synthesize(
-                branch_model=report.branch_model,
-                call_protocol=report.call_protocol,
-                frame_model=report.frame_model,
-            )
+    def _phase_graphmatch(self, report, state):
+        roles = {}
+        for sample in report.corpus.usable_samples():
+            if sample.kind in ("binary", "unary", "literal", "copy") and getattr(
+                sample, "info", None
+            ):
+                graph = build_dfg(sample, report.addr_map)
+                matched = match_binary(sample, graph)
+                for index, role in matched.roles.items():
+                    roles[(sample.name, index)] = role
+        state["graph_roles"] = roles
 
-        report.machine_stats = self.machine.stats.snapshot()
-        return report
+    def _phase_reverse_interp(self, report, state):
+        interpreter = ReverseInterpreter(
+            report.corpus,
+            report.addr_map,
+            report.enquire.word_bits,
+            graph_roles=state.get("graph_roles", {}),
+            budget=self.ri_budget,
+            use_likelihood=self.use_likelihood,
+        )
+        report.extraction = interpreter.extract()
+
+    def _phase_branches(self, report, state):
+        report.branch_model = BranchAnalysis(
+            report.engine, report.addr_map, report.enquire.word_bits
+        ).analyse()
+
+    def _phase_calling(self, report, state):
+        try:
+            report.call_protocol = CallAnalysis(report.engine, report.addr_map).analyse()
+        except DiscoveryError as exc:
+            report.notes.append(f"calling convention: {exc}")
+
+    def _phase_frames(self, report, state):
+        frame = discover_frame(self.machine, report.syntax)
+        print_tpl, exit_tpl, data_lines = discover_idioms(report.corpus, report.addr_map)
+        frame.print_template = print_tpl
+        frame.exit_template = exit_tpl
+        frame.data_lines = data_lines
+        report.frame_model = frame
+
+    def _phase_synthesize(self, report, state):
+        synthesizer = Synthesizer(
+            report.engine,
+            report.addr_map,
+            report.extraction,
+            report.enquire,
+            report.probe_log,
+            seed=self.seed,
+        )
+        report.spec = synthesizer.synthesize(
+            branch_model=report.branch_model,
+            call_protocol=report.call_protocol,
+            frame_model=report.frame_model,
+        )
 
 
 class _Clock:
@@ -221,7 +377,8 @@ class _Phase:
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        self.report.timings.append(
-            PhaseTiming(self.name, time.perf_counter() - self.start)
-        )
+        if exc_type is None:
+            self.report.timings.append(
+                PhaseTiming(self.name, time.perf_counter() - self.start)
+            )
         return False

@@ -13,6 +13,7 @@ import random
 from repro import wordops
 from repro.discovery import values as mc
 from repro.discovery.samples import INIT_HEADER, Corpus, Sample, make_main_source
+from repro.errors import TargetError
 
 BINARY_OPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"]
 COMPARISONS = ["<", "<=", ">", ">=", "==", "!="]
@@ -246,12 +247,20 @@ class SampleGenerator:
     # -- realisation ------------------------------------------------------
 
     def _realise(self, corpus, sample):
-        """Compile the sample and run it once to record its output."""
+        """Compile the sample and run it once to record its output.
+
+        A target that stays unreachable through the retry policy costs
+        only this sample (quarantine), not the whole generation phase.
+        """
         sample.main_c = make_main_source(sample.statement)
-        sample.asm_text = self.machine.compile_c(
-            sample.main_c, headers={"init.h": INIT_HEADER}
-        )
-        result = corpus.run_raw(sample)
+        try:
+            sample.asm_text = self.machine.compile_c(
+                sample.main_c, headers={"init.h": INIT_HEADER}
+            )
+            result = corpus.run_raw(sample)
+        except TargetError as exc:
+            sample.discard(f"quarantined (generation): {exc}")
+            return
         if result is None or not result.ok:
             sample.discard(
                 f"original run failed: {result.error if result else 'assembly/link error'}"

@@ -101,10 +101,13 @@ class ValueSet:
 class MutationEngine:
     """Runs mutations of a sample against the target and judges them."""
 
-    def __init__(self, corpus, word_bits=32, seed=42, variants=2):
+    def __init__(self, corpus, word_bits=32, seed=42, variants=2, rng=None):
         self.corpus = corpus
         self.word_bits = word_bits
-        self.rng = random.Random(seed)
+        # An injected rng lets a driver share one seeded stream across
+        # components; otherwise the engine owns a private seeded stream
+        # so mutation schedules replay bit-for-bit from the seed.
+        self.rng = rng if rng is not None else random.Random(seed)
         self.variants = variants
         self.stats = MutationStats()
         self._value_sets = {}  # sample name -> list[ValueSet]

@@ -12,7 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import AssemblerError, DiscoveryError, LinkerError
+from repro.errors import (
+    AssemblerError,
+    DiscoveryError,
+    LinkerError,
+    TransientTargetError,
+)
 from repro.discovery.asmmodel import is_identifier, split_lines
 from repro.discovery.syntax import DiscoveredSyntax, LoadImmTemplate
 
@@ -239,15 +244,30 @@ def _expansion_candidates(confirmed):
 
 def discover_registers(machine, syntax, asm_texts, log=None):
     """Build the register universe: seed by scanning, confirm by probing,
-    then expand each confirmed name's family and probe those too."""
+    then expand each confirmed name's family and probe those too.
+
+    A candidate whose probe fails *terminally* (the retry policy gave
+    up on the target) is left unconfirmed and noted in the log -- a
+    smaller register universe degrades coverage but never corrupts it,
+    whereas aborting here would kill the whole run.
+    """
+
+    def probes_ok(candidate):
+        try:
+            return _probe_register(machine, syntax, candidate, log)
+        except TransientTargetError as exc:
+            if log:
+                log.notes.append(f"register probe {candidate!r} skipped: {exc}")
+            return False
+
     confirmed = set()
     for seed in sorted(_register_seeds(syntax, asm_texts)):
-        if _probe_register(machine, syntax, seed, log):
+        if probes_ok(seed):
             confirmed.add(seed)
     for candidate in sorted(_expansion_candidates(confirmed)):
         if candidate in confirmed:
             continue
-        if _probe_register(machine, syntax, candidate, log):
+        if probes_ok(candidate):
             confirmed.add(candidate)
     syntax.registers = confirmed
     return syntax

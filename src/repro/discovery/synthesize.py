@@ -40,7 +40,7 @@ _IR_UNARY = {"-": "Neg", "~": "Not"}
 
 
 class Synthesizer:
-    def __init__(self, engine, addr_map, extraction, enq, log=None):
+    def __init__(self, engine, addr_map, extraction, enq, log=None, seed=0x5EED):
         self.engine = engine
         self.corpus = engine.corpus
         self.syntax = engine.corpus.syntax
@@ -51,7 +51,8 @@ class Synthesizer:
         self.enq = enq
         self.bits = enq.word_bits
         self.log = log or probe.ProbeLog()
-        self.rng = random.Random(0x5EED)
+        self.seed = seed
+        self.rng = random.Random(seed)
 
     # ------------------------------------------------------------------
 
@@ -338,7 +339,7 @@ class Synthesizer:
         if missing:
             from repro.discovery.combiner import Combiner
 
-            combiner = Combiner(self.extraction.semantics, bits=self.bits)
+            combiner = Combiner(self.extraction.semantics, bits=self.bits, seed=self.seed)
             for c_op, ir_op in missing:
                 rule = combiner.as_rule(ir_op)
                 if rule is None:

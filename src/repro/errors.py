@@ -40,3 +40,38 @@ class ExecutionError(ReproError):
 
 class DiscoveryError(ReproError):
     """The architecture discovery unit could not complete an analysis."""
+
+
+# -- remote-target fault taxonomy ----------------------------------------
+#
+# A real deployment probes the target over rsh: connections drop,
+# toolchains crash, executions hang.  These failures are *transient* --
+# retrying the same interaction may well succeed -- unlike the permanent
+# errors above (an AssemblerError will reject the same program forever).
+# The resilience layer retries transient errors and treats everything
+# else as a verdict.
+
+
+class TargetError(ReproError):
+    """Base class for errors of the remote target itself (as opposed to
+    semantic rejections of the submitted program)."""
+
+
+class TransientTargetError(TargetError):
+    """A retryable target failure: dropped connection, toolchain crash,
+    truncated transfer.  The same interaction may succeed on retry."""
+
+
+class TargetTimeoutError(TransientTargetError):
+    """A remote interaction exceeded its deadline.  Retryable, but
+    counted separately because timeouts burn real target time."""
+
+
+class PermanentTargetError(TargetError):
+    """The target is terminally unreachable for this class of
+    interaction (e.g. a circuit breaker gave up on a probe class).
+    Not retryable; callers quarantine the affected work instead."""
+
+
+#: the exception classes a retry policy is allowed to swallow
+RETRYABLE_ERRORS = (TransientTargetError,)

@@ -16,6 +16,35 @@ import pathlib
 from repro.discovery.dfg import build_dfg
 
 
+def _resilience_summary(report):
+    """Retry/quarantine/fault counters for the JSON summary (all zero on
+    a healthy target -- the numbers double as a health report)."""
+    out = {"quarantined": list(report.quarantined)}
+    retry = report.retry_stats
+    if retry is not None:
+        out["retries"] = {
+            "attempts": retry.attempts,
+            "retries": retry.retries,
+            "transient_errors": retry.transient_errors,
+            "timeouts": retry.timeouts,
+            "gave_up": retry.gave_up,
+            "vote_runs": retry.vote_runs,
+            "vote_conflicts": retry.vote_conflicts,
+            "breaker_rejections": retry.breaker_rejections,
+            "total_backoff_s": round(retry.total_backoff, 4),
+        }
+    faults = report.fault_stats
+    if faults is not None:
+        out["faults_injected"] = {
+            "drops": faults.drops,
+            "crashes": faults.crashes,
+            "timeouts": faults.timeouts,
+            "corruptions": faults.corruptions,
+            "total": faults.injected,
+        }
+    return out
+
+
 def write_report(report, directory):
     """Write all artifacts for one DiscoveryReport; returns the paths."""
     out = pathlib.Path(directory)
@@ -37,6 +66,7 @@ def write_report(report, directory):
     summary = dict(report.summary())
     summary["phases"] = {t.name: round(t.seconds, 4) for t in report.timings}
     summary["spec"] = report.spec.summary()
+    summary["resilience"] = _resilience_summary(report)
     summary_path.write_text(json.dumps(summary, indent=2) + "\n")
     written.append(summary_path)
 

@@ -1,0 +1,121 @@
+"""The deterministic fault injector (FaultPlan / FaultyMachine)."""
+
+import pytest
+
+from repro.errors import (
+    AssemblerError,
+    TargetTimeoutError,
+    TransientTargetError,
+)
+from repro.machines.faults import FaultPlan, FaultyMachine
+from repro.machines.machine import RemoteMachine
+
+MAIN = ".text\n.globl main\nmain:\n movl $0, %eax\n ret\n"
+
+
+def _machine(rate, seed=1, **plan_kwargs):
+    plan = FaultPlan(rate=rate, seed=seed, **plan_kwargs)
+    return FaultyMachine(RemoteMachine("x86"), plan=plan)
+
+
+class TestFaultPlan:
+    def test_rate_zero_never_faults(self):
+        plan = FaultPlan(rate=0.0, seed=3)
+        assert all(plan.decide("execute") is None for _ in range(500))
+
+    def test_rate_one_always_faults_until_streak_cap(self):
+        plan = FaultPlan(rate=1.0, seed=3, max_consecutive=3)
+        kinds = [plan.decide("compile") for _ in range(8)]
+        # Every 4th decision is forced clean by the streak cap.
+        assert kinds[3] is None and kinds[7] is None
+        assert all(k is not None for i, k in enumerate(kinds) if i % 4 != 3)
+
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(rate=0.3, seed=42)
+        b = FaultPlan(rate=0.3, seed=42)
+        assert [a.decide("execute") for _ in range(200)] == [
+            b.decide("execute") for _ in range(200)
+        ]
+
+    def test_corrupt_only_offered_for_execute(self):
+        plan = FaultPlan(
+            rate=1.0, seed=9, max_consecutive=0, weights={"corrupt": 1.0, "drop": 0.01}
+        )
+        kinds = {plan.decide("compile") for _ in range(100)}
+        assert "corrupt" not in kinds
+        assert "corrupt" in {plan.decide("execute") for _ in range(100)}
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(rate=1.5)
+
+    def test_corrupt_output_differs_from_original(self):
+        plan = FaultPlan(rate=1.0, seed=5)
+        original = "67\n"
+        mangled = [plan.corrupt_output(original) for _ in range(20)]
+        assert all(m != original for m in mangled)
+
+
+class TestFaultyMachine:
+    def test_transparent_at_rate_zero(self):
+        machine = _machine(0.0)
+        result = machine.run_asm([MAIN])
+        assert result.ok
+        assert machine.fault_stats.injected == 0
+        assert machine.stats.executions == 1
+
+    def test_drop_raises_without_touching_target(self):
+        machine = _machine(1.0, weights={"drop": 1.0}, max_consecutive=0)
+        with pytest.raises(TransientTargetError):
+            machine.compile_c("main(){}")
+        # The request never reached the target: no invocation counted.
+        assert machine.stats.compilations == 0
+        assert machine.fault_stats.drops == 1
+
+    def test_crash_counts_the_spent_invocation(self):
+        machine = _machine(1.0, weights={"crash": 1.0}, max_consecutive=0)
+        with pytest.raises(TransientTargetError):
+            machine.compile_c("main(){}")
+        assert machine.stats.compilations == 1
+        assert machine.fault_stats.crashes == 1
+
+    def test_timeout_is_its_own_type(self):
+        machine = _machine(1.0, weights={"timeout": 1.0}, max_consecutive=0)
+        with pytest.raises(TargetTimeoutError):
+            machine.compile_c("main(){}")
+        # ...but still retryable (a TransientTargetError subclass).
+        assert issubclass(TargetTimeoutError, TransientTargetError)
+
+    def test_corrupted_execution_returns_wrong_output_silently(self):
+        machine = _machine(1.0, weights={"corrupt": 1.0}, max_consecutive=0)
+        clean = RemoteMachine("x86")
+        asm = clean.compile_c('main(){printf("%i\\n", 67); exit(0);}')
+        result = machine.run_asm([asm])
+        assert result.ok  # no exception: that is the whole danger
+        assert result.output != "67\n"
+        assert machine.fault_stats.corruptions >= 1
+
+    def test_permanent_errors_pass_through(self):
+        machine = _machine(0.0)
+        with pytest.raises(AssemblerError):
+            machine.assemble(".text\nnot_an_instruction_at_all x, y, z\n")
+        assert machine.assembles_ok(MAIN)
+
+    def test_deterministic_fault_sequence_end_to_end(self):
+        def trace(seed):
+            machine = _machine(0.5, seed=seed)
+            events = []
+            for _ in range(30):
+                try:
+                    machine.compile_c("main(){}")
+                    events.append("ok")
+                except TransientTargetError as exc:
+                    events.append(type(exc).__name__)
+            return events
+
+        assert trace(11) == trace(11)
+        assert trace(11) != trace(12)
+
+    def test_plan_and_rate_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            FaultyMachine(RemoteMachine("x86"), plan=FaultPlan(rate=0.1), rate=0.2)
