@@ -7,6 +7,8 @@ phase.
 
 import pytest
 
+from benchmarks import benchjson
+
 from repro.machines.machine import RemoteMachine
 from repro.discovery import probe
 from repro.discovery.driver import ArchitectureDiscovery
@@ -16,6 +18,25 @@ from repro.discovery.mutation import MutationEngine
 from repro.discovery.syntax import DiscoveredSyntax
 
 TARGETS = ("x86", "mips", "sparc", "alpha", "vax", "m68k")
+
+
+@pytest.fixture
+def benchmark(benchmark, request):
+    """The pytest-benchmark fixture, plus automatic machine-readable
+    output: each test's timing and ``extra_info`` are merged into
+    ``benchmarks/results/BENCH_<module>.json`` at teardown."""
+    yield benchmark
+    module = request.module.__name__.rsplit(".", 1)[-1]
+    if module.startswith("bench_"):
+        module = module[len("bench_"):]
+    payload = {
+        key: benchjson._jsonable(value)
+        for key, value in dict(benchmark.extra_info).items()
+    }
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        payload["seconds_mean"] = round(stats.stats.mean, 4)
+    benchjson.record(module, {request.node.name: payload})
 
 _REPORTS = {}
 _FRONTS = {}

@@ -2,6 +2,8 @@
 
     python -m repro discover <target> [--out DIR] [--seed N]
                              [--flaky RATE] [--fault-seed N] [--max-retries N]
+                             [--workers N] [--cache-dir PATH] [--no-cache]
+                             [--latency SECONDS]
     python -m repro retarget <target>... --program FILE.a
     python -m repro run <target> --program FILE.a
     python -m repro targets
@@ -11,7 +13,12 @@ Mirrors the paper's user story: the only inputs are the target machine
 name of one of the five simulated machines.  ``--flaky`` simulates an
 unreliable network/toolchain (the deployment reality the resilience
 layer exists for): a seeded fraction of remote interactions drop, crash,
-time out, or return corrupted output.
+time out, or return corrupted output.  ``--workers`` fans the
+per-sample probes over that many concurrent target connections (the
+result is identical for any worker count); ``--cache-dir`` memoises
+every probe in a persistent content-addressed cache so a repeat run
+touches the target zero times; ``--latency`` simulates the per-verb
+round-trip cost that makes both of those worth having.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ def _cmd_targets(_args):
 
 def _build_machine(args):
     """The target machine, optionally behind a fault injector."""
-    machine = RemoteMachine(args.target)
+    machine = RemoteMachine(args.target, latency=getattr(args, "latency", 0.0))
     if getattr(args, "flaky", 0.0):
         from repro.machines.faults import FaultyMachine
 
@@ -55,9 +62,16 @@ def _cmd_discover(args):
     from repro.discovery.driver import ArchitectureDiscovery, DiscoveryInterrupted
 
     machine = _build_machine(args)
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        cache = args.cache_dir
     try:
         report = ArchitectureDiscovery(
-            machine, seed=args.seed, resilience=_resilience_config(args)
+            machine,
+            seed=args.seed,
+            resilience=_resilience_config(args),
+            workers=args.workers,
+            cache=cache,
         ).run()
     except DiscoveryInterrupted as exc:
         print(f"discovery interrupted during '{exc.phase}': {exc.cause}", file=sys.stderr)
@@ -153,6 +167,31 @@ def main(argv=None):
         type=int,
         default=4,
         help="retries per remote interaction before quarantine",
+    )
+    p_discover.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="concurrent target connections (default: $REPRO_WORKERS or 1)",
+    )
+    p_discover.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persist probe results here; repeat runs skip remote verbs",
+    )
+    p_discover.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the probe cache entirely (no reads, no writes)",
+    )
+    p_discover.add_argument(
+        "--latency",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="simulated per-verb target round-trip time",
     )
 
     p_retarget = sub.add_parser(

@@ -1,0 +1,440 @@
+"""Persistent content-addressed probe cache for remote-target verbs.
+
+The paper's discovery unit issues thousands of tiny compile / assemble /
+execute probes, and its cost is dominated by target round-trips; yet the
+answers are pure functions of (target, toolchain, probe content).  This
+module memoises them so repeat and resumed runs skip remote work
+entirely -- the incremental-rediscovery idea of "Retargeting GCC: Do We
+Reinvent the Wheel Every Time?" applied at the probe level.
+
+Three pieces:
+
+* :func:`target_fingerprint` -- identifies *which machine's answers*
+  an entry belongs to: target name, toolchain command lines, execution
+  fuel and the cache schema version.  Two different architectures (or
+  the same one behind different toolchain flags) can never share an
+  entry, because the fingerprint prefixes every key.
+* :class:`ProbeCache` -- a thread-safe content-addressed store.  Keys
+  are ``fingerprint:verb:content-hash``; values are small JSON payloads.
+  Persistence is an append-only JSONL shard per fingerprint (crash-safe:
+  a torn write corrupts one line, which is detected, counted and treated
+  as a miss), with LRU eviction above ``max_entries`` and hit / miss /
+  write / eviction / corruption counters for the reports.
+* :class:`CachingMachine` -- wraps any four-verb machine (normally the
+  top of a resilience stack, so only *vetted* answers are cached) behind
+  the same surface.  Object and executable handles become *lazy*: they
+  carry the content hash of the sources they were built from, so a warm
+  ``assemble -> link -> execute`` chain is answered from the cache
+  without the target ever being contacted; the real toolchain runs only
+  on a miss, to materialise the handle the inner machine needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError, LinkerError
+
+#: bump when the entry payload schema changes: old entries must miss
+CACHE_FORMAT = 1
+
+
+@dataclass
+class CachedExecResult:
+    """A replayed execution outcome.  Mirrors the executor's ExecResult
+    interface (output/exit_code/steps/error/ok/same_result) without
+    importing machine internals -- discovery treats the target as a
+    black box, cached or live."""
+
+    output: str
+    exit_code: int = 0
+    steps: int = 0
+    error: str | None = None
+
+    @property
+    def ok(self):
+        return self.error is None
+
+    def same_result(self, other):
+        return self.ok and other.ok and self.output == other.output
+
+
+def _hash_text(*parts):
+    digest = hashlib.sha256()
+    for part in parts:
+        data = part if isinstance(part, bytes) else str(part).encode("utf-8")
+        digest.update(len(data).to_bytes(8, "little"))
+        digest.update(data)
+    return digest.hexdigest()[:32]
+
+
+def target_fingerprint(machine):
+    """Content address of *the machine being asked*: target name,
+    toolchain command lines and execution fuel.  Changing any toolchain
+    flag changes the fingerprint, invalidating every cached answer."""
+    toolchain = machine.toolchain
+    fuel = None
+    probe = machine
+    while probe is not None and fuel is None:
+        fuel = getattr(probe, "fuel", None)
+        probe = getattr(probe, "inner", None)
+    return _hash_text(
+        f"format={CACHE_FORMAT}",
+        machine.target,
+        toolchain.host,
+        toolchain.cc,
+        toolchain.asm,
+        toolchain.ld,
+        f"fuel={fuel}",
+    )[:16]
+
+
+@dataclass
+class CacheStats:
+    """Counters the driver surfaces in the DiscoveryReport."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    corrupt_entries: int = 0
+    loaded: int = 0
+    hits_by_verb: dict = field(default_factory=dict)
+    misses_by_verb: dict = field(default_factory=dict)
+
+    def snapshot(self):
+        return CacheStats(
+            self.hits,
+            self.misses,
+            self.writes,
+            self.evictions,
+            self.corrupt_entries,
+            self.loaded,
+            dict(self.hits_by_verb),
+            dict(self.misses_by_verb),
+        )
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ProbeCache:
+    """Content-addressed probe store, persistent when given a directory.
+
+    ``directory=None`` keeps a purely in-memory cache (deduplicates
+    probes within one run).  Otherwise each target fingerprint gets an
+    append-only ``probes-<fingerprint>.jsonl`` shard under the
+    directory; shards are loaded lazily on first touch, entries are
+    appended write-through, and shards shrunk by eviction are compacted
+    on :meth:`close`.
+    """
+
+    def __init__(self, directory=None, max_entries=1_000_000):
+        self.directory = pathlib.Path(directory) if directory else None
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries = OrderedDict()  # key -> payload dict (LRU order)
+        self._loaded_shards = set()  # fingerprints already read from disk
+        self._dirty_shards = set()  # fingerprints needing compaction
+        self._lock = threading.RLock()
+
+    # -- the store ----------------------------------------------------
+
+    def get(self, fingerprint, verb, content_hash):
+        """The cached payload for a probe, or None on a miss."""
+        key = f"{fingerprint}:{verb}:{content_hash}"
+        with self._lock:
+            self._ensure_shard(fingerprint)
+            payload = self._entries.get(key)
+            if isinstance(payload, dict):
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                by = self.stats.hits_by_verb
+                by[verb] = by.get(verb, 0) + 1
+                return payload
+            self.stats.misses += 1
+            by = self.stats.misses_by_verb
+            by[verb] = by.get(verb, 0) + 1
+            return None
+
+    def put(self, fingerprint, verb, content_hash, payload):
+        """Record a probe answer (write-through when persistent)."""
+        key = f"{fingerprint}:{verb}:{content_hash}"
+        with self._lock:
+            self._ensure_shard(fingerprint)
+            if key in self._entries:
+                return
+            self._entries[key] = payload
+            self.stats.writes += 1
+            self._append(fingerprint, key, verb, payload)
+            while len(self._entries) > self.max_entries:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                self._dirty_shards.add(evicted_key.split(":", 1)[0])
+
+    def close(self):
+        """Compact shards that lost entries to eviction."""
+        with self._lock:
+            for fingerprint in sorted(self._dirty_shards):
+                path = self._shard_path(fingerprint)
+                if path is None:
+                    continue
+                prefix = f"{fingerprint}:"
+                lines = [
+                    json.dumps({"k": key, "verb": key.split(":")[1], "v": payload})
+                    for key, payload in self._entries.items()
+                    if key.startswith(prefix)
+                ]
+                path.write_text("".join(line + "\n" for line in lines))
+            self._dirty_shards.clear()
+
+    def describe(self):
+        where = str(self.directory) if self.directory else "(in-memory)"
+        return f"probe cache at {where}: {len(self._entries)} entries"
+
+    def __len__(self):
+        return len(self._entries)
+
+    # -- persistence --------------------------------------------------
+
+    def _shard_path(self, fingerprint):
+        if self.directory is None:
+            return None
+        return self.directory / f"probes-{fingerprint}.jsonl"
+
+    def _ensure_shard(self, fingerprint):
+        if fingerprint in self._loaded_shards:
+            return
+        self._loaded_shards.add(fingerprint)
+        path = self._shard_path(fingerprint)
+        if path is None or not path.exists():
+            return
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                key, payload = entry["k"], entry["v"]
+                if not isinstance(key, str) or not isinstance(payload, dict):
+                    raise ValueError("malformed entry")
+            except (ValueError, KeyError, TypeError):
+                # A torn or tampered line: fall back to a live probe for
+                # whatever it held, never fail the run.
+                self.stats.corrupt_entries += 1
+                self._dirty_shards.add(fingerprint)
+                continue
+            if key not in self._entries:
+                self._entries[key] = payload
+                self.stats.loaded += 1
+
+    def _append(self, fingerprint, key, verb, payload):
+        path = self._shard_path(fingerprint)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"k": key, "verb": verb, "v": payload})
+        with open(path, "a") as handle:
+            handle.write(line + "\n")
+
+
+# -- lazy handles -----------------------------------------------------
+
+
+class _LazyObject:
+    """An object handle addressed by the hash of its assembly source.
+
+    ``real`` stays None until some miss forces the inner machine to
+    actually assemble the text; a fully warm run never materialises."""
+
+    __slots__ = ("content_hash", "asm_text", "real")
+
+    def __init__(self, content_hash, asm_text, real=None):
+        self.content_hash = content_hash
+        self.asm_text = asm_text
+        self.real = real
+
+    def __repr__(self):
+        state = "materialised" if self.real is not None else "lazy"
+        return f"<object {self.content_hash[:8]} {state}>"
+
+
+class _LazyExecutable:
+    """An executable addressed by the hashes of its linked objects."""
+
+    __slots__ = ("content_hash", "parts", "real")
+
+    def __init__(self, content_hash, parts, real=None):
+        self.content_hash = content_hash
+        self.parts = parts
+        self.real = real
+
+    def __repr__(self):
+        state = "materialised" if self.real is not None else "lazy"
+        return f"<a.out {self.content_hash[:8]} {state}>"
+
+
+class CachingMachine:
+    """The standard four-verb surface, answered from the cache first.
+
+    Sits *outermost* in a connection stack -- above retry / voting /
+    fault injection -- so cached answers are the resilience-vetted
+    verdicts and a cache hit models a purely local lookup (no network,
+    no faults, no invocation counters).  Verbs that can fail
+    semantically (assemble, link) cache their accept/reject verdict, so
+    warm accept/reject probing is free too; transient target errors are
+    never cached.
+    """
+
+    def __init__(self, machine, cache):
+        self.inner = machine
+        self.cache = cache
+        self.fingerprint = target_fingerprint(machine)
+
+    def clone_connection(self, index=0):
+        """A parallel connection sharing this cache (the cache itself is
+        thread-safe; one store serves the whole worker pool)."""
+        return CachingMachine(self.inner.clone_connection(index), self.cache)
+
+    # -- passthrough surface ------------------------------------------
+
+    @property
+    def target(self):
+        return self.inner.target
+
+    @property
+    def toolchain(self):
+        return self.inner.toolchain
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @property
+    def policy(self):
+        return getattr(self.inner, "policy", None)
+
+    @property
+    def fault_stats(self):
+        return getattr(self.inner, "fault_stats", None)
+
+    # -- the four remote verbs ----------------------------------------
+
+    def compile_c(self, source, headers=None):
+        headers = headers or {}
+        content = _hash_text(source, *(f"{k}\n{v}" for k, v in sorted(headers.items())))
+        cached = self.cache.get(self.fingerprint, "compile", content)
+        if cached is not None and isinstance(cached.get("asm"), str):
+            return cached["asm"]
+        asm = self.inner.compile_c(source, headers)
+        self.cache.put(self.fingerprint, "compile", content, {"asm": asm})
+        return asm
+
+    def assemble(self, asm_text):
+        content = _hash_text(asm_text)
+        cached = self.cache.get(self.fingerprint, "assemble", content)
+        if cached is not None:
+            if cached.get("ok"):
+                return _LazyObject(content, asm_text)
+            raise AssemblerError(str(cached.get("error", "rejected (cached)")))
+        try:
+            real = self.inner.assemble(asm_text)
+        except AssemblerError as exc:
+            self.cache.put(
+                self.fingerprint, "assemble", content, {"ok": False, "error": str(exc)}
+            )
+            raise
+        self.cache.put(self.fingerprint, "assemble", content, {"ok": True})
+        return _LazyObject(content, asm_text, real=real)
+
+    def assembles_ok(self, asm_text):
+        try:
+            self.assemble(asm_text)
+        except AssemblerError:
+            return False
+        return True
+
+    def link(self, objects):
+        for handle in objects:
+            if not isinstance(handle, _LazyObject):
+                # A foreign handle (not assembled through this cache):
+                # delegate untouched rather than guess its content.
+                return self.inner.link(objects)
+        content = _hash_text("link", *(obj.content_hash for obj in objects))
+        cached = self.cache.get(self.fingerprint, "link", content)
+        if cached is not None:
+            if cached.get("ok"):
+                return _LazyExecutable(content, list(objects))
+            raise LinkerError(str(cached.get("error", "link failed (cached)")))
+        try:
+            real = self.inner.link([self._materialise(obj) for obj in objects])
+        except LinkerError as exc:
+            self.cache.put(
+                self.fingerprint, "link", content, {"ok": False, "error": str(exc)}
+            )
+            raise
+        self.cache.put(self.fingerprint, "link", content, {"ok": True})
+        return _LazyExecutable(content, list(objects), real=real)
+
+    def execute(self, executable):
+        if not isinstance(executable, _LazyExecutable):
+            return self.inner.execute(executable)
+        cached = self.cache.get(self.fingerprint, "execute", executable.content_hash)
+        if cached is not None and "output" in cached:
+            return CachedExecResult(
+                output=cached["output"],
+                exit_code=cached.get("exit_code", 0),
+                steps=cached.get("steps", 0),
+                error=cached.get("error"),
+            )
+        result = self.inner.execute(self._materialise_exe(executable))
+        self.cache.put(
+            self.fingerprint,
+            "execute",
+            executable.content_hash,
+            {
+                "output": result.output,
+                "exit_code": result.exit_code,
+                "steps": result.steps,
+                "error": result.error,
+            },
+        )
+        return result
+
+    # -- materialisation ----------------------------------------------
+
+    def _materialise(self, obj):
+        if obj.real is None:
+            obj.real = self.inner.assemble(obj.asm_text)
+        return obj.real
+
+    def _materialise_exe(self, exe):
+        if exe.real is None:
+            exe.real = self.inner.link([self._materialise(obj) for obj in exe.parts])
+        return exe.real
+
+    # -- conveniences --------------------------------------------------
+
+    def run_c(self, sources, headers=None):
+        objects = [self.assemble(self.compile_c(src, headers)) for src in sources]
+        return self.execute(self.link(objects))
+
+    def run_asm(self, asm_texts):
+        objects = [self.assemble(text) for text in asm_texts]
+        return self.execute(self.link(objects))
+
+
+def make_caching(machine, cache):
+    """Wrap *machine* unless already caching or no cache was given."""
+    if cache is None or isinstance(machine, CachingMachine):
+        return machine
+    return CachingMachine(machine, cache)

@@ -19,16 +19,30 @@ aborting the run), and the pipeline itself is a checkpointable phase
 table -- a phase-level failure raises :class:`DiscoveryInterrupted`
 carrying a :class:`DiscoveryCheckpoint` that ``run(resume=...)`` picks
 up without redoing completed phases.
+
+Because the target is *slow to reach* (round-trips dominate discovery
+cost), the per-sample work -- sample realisation, register probing,
+region extraction, mutation analysis, graph matching -- fans out over a
+bounded pool of concurrent connections
+(:class:`~repro.discovery.scheduler.ProbeScheduler`; ``workers=``, or
+the ``REPRO_WORKERS`` environment variable), and every remote verb can
+be memoised in a persistent content-addressed
+:class:`~repro.discovery.cache.ProbeCache` (``cache=``) so repeat runs
+skip remote compiles and executions entirely.  Results merge in sample
+order with per-task seeded randomness, so the discovered description is
+bit-for-bit identical for any worker count.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
 from repro.discovery import probe
 from repro.discovery.addresses import discover_address_map
 from repro.discovery.branches import BranchAnalysis
+from repro.discovery.cache import ProbeCache, make_caching
 from repro.discovery.calling import CallAnalysis
 from repro.discovery.dfg import build_dfg
 from repro.discovery.enquire import enquire
@@ -40,6 +54,7 @@ from repro.discovery.mutation import MutationEngine
 from repro.discovery.preprocess import Preprocessor
 from repro.discovery.resilience import ResilienceConfig, make_resilient
 from repro.discovery.reverse_interp import ReverseInterpreter
+from repro.discovery.scheduler import ProbeScheduler, TargetConnectionPool
 from repro.discovery.syntax import DiscoveredSyntax
 from repro.discovery.synthesize import Synthesizer
 from repro.errors import DiscoveryError, TargetError
@@ -74,16 +89,26 @@ class DiscoveryReport:
     quarantined: list = field(default_factory=list)  # degraded-coverage record
     retry_stats: object = None  # resilience.RetryStats, when wrapped
     fault_stats: object = None  # faults.FaultStats, when injecting
+    scheduler_stats: object = None  # scheduler.SchedulerStats
+    cache_stats: object = None  # cache.CacheStats, when caching
 
     def summary(self):
+        """The headline numbers.  Every field is guarded: a report from
+        an interrupted or degenerate run (no samples, no enquire data)
+        summarises instead of dividing by zero or dereferencing None."""
         usable = sum(1 for s in self.corpus.samples if s.usable) if self.corpus else 0
         total = len(self.corpus.samples) if self.corpus else 0
         out = {
             "target": self.target,
-            "word": f"{self.enquire.word_bits}-bit {self.enquire.endian}-endian",
-            "comment_char": self.syntax.comment_char,
-            "registers_discovered": len(self.syntax.registers),
+            "word": (
+                f"{self.enquire.word_bits}-bit {self.enquire.endian}-endian"
+                if self.enquire
+                else "?"
+            ),
+            "comment_char": self.syntax.comment_char if self.syntax else "?",
+            "registers_discovered": len(self.syntax.registers) if self.syntax else 0,
             "samples": f"{usable}/{total} analysed",
+            "usable_fraction": round(usable / total, 4) if total else 0.0,
             "instructions_discovered": len(self.extraction.semantics)
             if self.extraction
             else 0,
@@ -102,6 +127,16 @@ class DiscoveryReport:
             out["vote_runs"] = self.retry_stats.vote_runs
         if self.fault_stats is not None:
             out["faults_injected"] = self.fault_stats.injected
+        if self.scheduler_stats is not None:
+            out["workers"] = self.scheduler_stats.workers
+            out["parallel_tasks"] = self.scheduler_stats.tasks
+            out["max_in_flight"] = self.scheduler_stats.max_in_flight
+        if self.cache_stats is not None:
+            out["cache_hits"] = self.cache_stats.hits
+            out["cache_misses"] = self.cache_stats.misses
+            out["cache_hit_rate"] = round(self.cache_stats.hit_rate, 4)
+            out["cache_evictions"] = self.cache_stats.evictions
+            out["cache_corrupt_entries"] = self.cache_stats.corrupt_entries
         if self.quarantined:
             out["coverage"] = (
                 f"degraded: {usable}/{total} samples analysed, "
@@ -184,6 +219,8 @@ class ArchitectureDiscovery:
         ri_budget=60_000,
         use_likelihood=True,
         resilience=None,
+        workers=None,
+        cache=None,
     ):
         if resilience is False:  # escape hatch: measure the raw machine
             self.resilience = None
@@ -191,6 +228,19 @@ class ArchitectureDiscovery:
         else:
             self.resilience = resilience or ResilienceConfig()
             self.machine = make_resilient(machine, self.resilience)
+        if isinstance(cache, (str, os.PathLike)):
+            cache = ProbeCache(cache)
+        self.cache = cache
+        self.machine = make_caching(self.machine, cache)
+        if workers is None:
+            workers = int(os.environ.get("REPRO_WORKERS", "1"))
+        self.workers = max(1, workers)
+        # The primary connection serves the sequential phases; workers
+        # get one cloned connection each (per-connection counters, fault
+        # plans and retry state -- aggregated again in _finalise).
+        pool_size = self.workers + 1 if self.workers > 1 else 1
+        self.pool, self._pool_note = TargetConnectionPool.open(self.machine, pool_size)
+        self.scheduler = ProbeScheduler(self.pool, self.workers)
         self.seed = seed
         self.ri_budget = ri_budget
         self.use_likelihood = use_likelihood
@@ -208,34 +258,50 @@ class ArchitectureDiscovery:
         else:
             report = DiscoveryReport(target=self.machine.target)
             completed, state = [], {}
+        if self._pool_note and self._pool_note not in report.notes:
+            report.notes.append(self._pool_note)
         clock = _Clock(report)
 
-        for name, method in self.PHASES:
-            if name in completed:
-                continue
-            try:
-                with clock(name):
-                    getattr(self, method)(report, state)
-            except _QUARANTINE_ERRORS as exc:
-                if isinstance(exc, DiscoveryInterrupted):
-                    raise
-                checkpoint = DiscoveryCheckpoint(
-                    target=self.machine.target,
-                    completed=list(completed),
-                    report=report,
-                    state=state,
-                )
-                raise DiscoveryInterrupted(name, exc, checkpoint) from exc
-            completed.append(name)
+        try:
+            for name, method in self.PHASES:
+                if name in completed:
+                    continue
+                try:
+                    with clock(name):
+                        getattr(self, method)(report, state)
+                except _QUARANTINE_ERRORS as exc:
+                    if isinstance(exc, DiscoveryInterrupted):
+                        raise
+                    # The scheduler has drained: captured per-sample
+                    # results are already merged, so the checkpoint's
+                    # report holds no in-flight work, and the cache has
+                    # every answer that came back (write-through).
+                    state["scheduler"] = self.scheduler.stats.snapshot()
+                    if self.cache is not None:
+                        state["cache"] = self.cache.describe()
+                    checkpoint = DiscoveryCheckpoint(
+                        target=self.machine.target,
+                        completed=list(completed),
+                        report=report,
+                        state=state,
+                    )
+                    raise DiscoveryInterrupted(name, exc, checkpoint) from exc
+                completed.append(name)
+        finally:
+            self.scheduler.close()
+            if self.cache is not None:
+                self.cache.close()
 
         self._finalise(report)
         return report
 
     def _finalise(self, report):
-        report.machine_stats = self.machine.stats.snapshot()
-        policy = getattr(self.machine, "policy", None)
-        report.retry_stats = policy.stats if policy is not None else None
-        report.fault_stats = getattr(self.machine, "fault_stats", None)
+        report.machine_stats = self.pool.aggregate_machine_stats()
+        report.retry_stats = self.pool.aggregate_retry_stats()
+        report.fault_stats = self.pool.aggregate_fault_stats()
+        report.scheduler_stats = self.scheduler.stats.snapshot()
+        if self.cache is not None:
+            report.cache_stats = self.cache.stats.snapshot()
         if report.corpus is not None:
             report.quarantined = [
                 {"sample": s.name, "reason": s.discarded}
@@ -265,11 +331,19 @@ class ArchitectureDiscovery:
 
     def _phase_generate(self, report, state):
         generator = SampleGenerator(self.machine, report.syntax, seed=self.seed)
-        report.corpus = generator.generate(word_bits=report.enquire.word_bits)
+        report.corpus = generator.generate(
+            word_bits=report.enquire.word_bits, scheduler=self.scheduler
+        )
 
     def _phase_registers(self, report, state):
         asms = [s.asm_text for s in report.corpus.samples if s.usable]
-        probe.discover_registers(self.machine, report.syntax, asms, report.probe_log)
+        probe.discover_registers(
+            self.machine,
+            report.syntax,
+            asms,
+            report.probe_log,
+            scheduler=self.scheduler,
+        )
 
     def _phase_extract(self, report, state):
         for sample in report.corpus.samples:
@@ -287,16 +361,35 @@ class ArchitectureDiscovery:
             report.corpus, word_bits=report.enquire.word_bits, seed=self.seed
         )
         report.engine = engine
-        preprocessor = Preprocessor(engine)
-        for sample in report.corpus.samples:
-            if not sample.usable:
-                continue
-            try:
-                preprocessor.process(sample)
-            except DiscoveryError as exc:
-                sample.discard(f"preprocessing failed: {exc}")
-            except TargetError as exc:
-                self._quarantine(sample, "mutation analysis", exc)
+        # Corpus-wide facts are computed once, sequentially, *before* the
+        # fan-out: the functional-register set and the pilot sample's
+        # clobber-safe set (which seeds the engine's fast-path guess).
+        # Forked engines then share them read-only, so the answers --
+        # and the rng draws that produced them -- are identical for any
+        # worker count.
+        engine.functional_registers()
+        pilot = next(iter(report.corpus.usable_samples()), None)
+        if pilot is not None:
+            engine.clobber_safe_registers(pilot)
+        tasks = [s for s in report.corpus.samples if s.usable]
+
+        def analyse(sample, conn):
+            fork = engine.fork(sample.name, machine=conn)
+            Preprocessor(fork).process(sample)
+            return fork
+
+        outcomes = self.scheduler.map(analyse, tasks, phase="mutation analysis")
+        for sample, outcome in zip(tasks, outcomes):
+            if outcome.ok:
+                engine.absorb(outcome.value)
+            elif isinstance(outcome.error, DiscoveryInterrupted):
+                raise outcome.error
+            elif isinstance(outcome.error, DiscoveryError):
+                sample.discard(f"preprocessing failed: {outcome.error}")
+            elif isinstance(outcome.error, TargetError):
+                self._quarantine(sample, "mutation analysis", outcome.error)
+            else:
+                raise outcome.error
 
     def _phase_addresses(self, report, state):
         report.addr_map = discover_address_map(report.corpus)

@@ -43,9 +43,16 @@ class SampleGenerator:
         self.rng = random.Random(seed)
         self.word_bits = None  # filled from enquire, defaults to 32
 
-    def generate(self, word_bits=32, extra_value_rounds=1):
+    def generate(self, word_bits=32, extra_value_rounds=1, scheduler=None):
         """Build the full corpus: every sample compiled and executed once
-        to record its expected output."""
+        to record its expected output.
+
+        Spec construction draws from the seeded rng strictly in order
+        (so the sample set is a pure function of the seed); realisation
+        -- one compile and one run per sample -- is independent per
+        sample and fans out over *scheduler*'s connection pool when one
+        is given.  Samples are appended in spec order either way.
+        """
         self.word_bits = word_bits
         corpus = Corpus(self.machine, self.syntax)
         specs = []
@@ -61,9 +68,16 @@ class SampleGenerator:
         specs.extend(self._copy_specs())
         specs.extend(self._cond_specs())
         specs.extend(self._call_specs())
-        for sample in specs:
-            self._realise(corpus, sample)
-            corpus.samples.append(sample)
+        if scheduler is not None:
+            scheduler.map_values(
+                lambda sample, conn: self._realise(corpus.bind(conn), sample),
+                specs,
+                phase="sample generation",
+            )
+        else:
+            for sample in specs:
+                self._realise(corpus, sample)
+        corpus.samples.extend(specs)
         return corpus
 
     # -- sample specs -----------------------------------------------------
@@ -254,7 +268,7 @@ class SampleGenerator:
         """
         sample.main_c = make_main_source(sample.statement)
         try:
-            sample.asm_text = self.machine.compile_c(
+            sample.asm_text = corpus.machine.compile_c(
                 sample.main_c, headers={"init.h": INIT_HEADER}
             )
             result = corpus.run_raw(sample)

@@ -104,6 +104,7 @@ class MutationEngine:
     def __init__(self, corpus, word_bits=32, seed=42, variants=2, rng=None):
         self.corpus = corpus
         self.word_bits = word_bits
+        self.seed = seed
         # An injected rng lets a driver share one seeded stream across
         # components; otherwise the engine owns a private seeded stream
         # so mutation schedules replay bit-for-bit from the seed.
@@ -112,6 +113,38 @@ class MutationEngine:
         self.stats = MutationStats()
         self._value_sets = {}  # sample name -> list[ValueSet]
         self._clobber_safe = {}  # sample name -> list[str]
+
+    def fork(self, token, machine=None):
+        """A per-task engine for the parallel scheduler.
+
+        The fork shares the corpus-wide caches (value sets and
+        clobber-safe lists are keyed per sample; the functional-register
+        set and the safe-set guess must be precomputed *before* forking)
+        but owns a private rng seeded by ``(seed, token)`` and private
+        stats.  Randomness therefore depends only on the task's stable
+        token -- never on how tasks interleave across workers -- which
+        is what makes discovery deterministic for any worker count.
+        """
+        clone = MutationEngine.__new__(MutationEngine)
+        clone.corpus = self.corpus.bind(machine) if machine is not None else self.corpus
+        clone.word_bits = self.word_bits
+        clone.seed = self.seed
+        # str seeding hashes via SHA-512 internally: stable across runs
+        # and processes, unlike hash().
+        clone.rng = random.Random(f"{self.seed}:{token}")
+        clone.variants = self.variants
+        clone.stats = MutationStats()
+        clone._value_sets = self._value_sets
+        clone._clobber_safe = self._clobber_safe
+        clone._safe_guess = self._safe_guess
+        clone._functional = self._functional
+        return clone
+
+    def absorb(self, fork):
+        """Fold a fork's private counters back in (merge step)."""
+        self.stats.attempted += fork.stats.attempted
+        self.stats.succeeded += fork.stats.succeeded
+        self.stats.runs += fork.stats.runs
 
     # -- value sets ---------------------------------------------------------
 

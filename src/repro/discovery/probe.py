@@ -10,6 +10,7 @@ undefined-symbol link error separates register names from symbols.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import (
@@ -42,13 +43,27 @@ _PROBE_VALUE = 1235
 
 @dataclass
 class ProbeLog:
-    """Counts of probe interactions, for the cost benchmarks."""
+    """Counts of probe interactions, for the cost benchmarks.
+
+    ``bump`` / ``note`` are safe to call from scheduler worker threads
+    (register probing fans out over the connection pool)."""
 
     comment_probes: int = 0
     literal_probes: int = 0
     register_probes: int = 0
     range_probes: int = 0
     notes: list = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, counter, n=1):
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
+
+    def note(self, text):
+        with self._lock:
+            self.notes.append(text)
 
 
 def _assembles(machine, body):
@@ -156,7 +171,7 @@ def _probe_register(machine, syntax, candidate, log=None):
     """A register candidate must assemble in the load-immediate slot AND
     survive linking (symbols die with an undefined-symbol error)."""
     if log:
-        log.register_probes += 1
+        log.bump("register_probes")
     instr = syntax.load_imm_instr(5, candidate)
     return _assembles_and_links(machine, syntax.render_instr(instr))
 
@@ -242,7 +257,7 @@ def _expansion_candidates(confirmed):
     return candidates
 
 
-def discover_registers(machine, syntax, asm_texts, log=None):
+def discover_registers(machine, syntax, asm_texts, log=None, scheduler=None):
     """Build the register universe: seed by scanning, confirm by probing,
     then expand each confirmed name's family and probe those too.
 
@@ -250,25 +265,39 @@ def discover_registers(machine, syntax, asm_texts, log=None):
     up on the target) is left unconfirmed and noted in the log -- a
     smaller register universe degrades coverage but never corrupts it,
     whereas aborting here would kill the whole run.
+
+    Candidate probes are independent accept/reject interactions, so a
+    :class:`~repro.discovery.scheduler.ProbeScheduler` fans each batch
+    out over the connection pool; the confirmed set is merged from
+    results in candidate order, making the outcome identical for any
+    worker count.
     """
 
-    def probes_ok(candidate):
+    def probes_ok(candidate, conn=machine):
         try:
-            return _probe_register(machine, syntax, candidate, log)
+            return _probe_register(conn, syntax, candidate, log)
         except TransientTargetError as exc:
             if log:
-                log.notes.append(f"register probe {candidate!r} skipped: {exc}")
+                log.note(f"register probe {candidate!r} skipped: {exc}")
             return False
 
-    confirmed = set()
-    for seed in sorted(_register_seeds(syntax, asm_texts)):
-        if probes_ok(seed):
-            confirmed.add(seed)
-    for candidate in sorted(_expansion_candidates(confirmed)):
-        if candidate in confirmed:
-            continue
-        if probes_ok(candidate):
-            confirmed.add(candidate)
+    def probe_batch(candidates, phase):
+        if scheduler is not None:
+            # Non-transient errors (e.g. an open circuit breaker) abort
+            # the phase exactly as they would in the sequential loop.
+            outcomes = scheduler.map_values(
+                lambda cand, conn: probes_ok(cand, conn), candidates, phase=phase
+            )
+            return {cand for cand, ok in zip(candidates, outcomes) if ok}
+        return {cand for cand in candidates if probes_ok(cand)}
+
+    confirmed = probe_batch(sorted(_register_seeds(syntax, asm_texts)), "register seeds")
+    expansion = [
+        cand
+        for cand in sorted(_expansion_candidates(confirmed))
+        if cand not in confirmed
+    ]
+    confirmed |= probe_batch(expansion, "register expansion")
     syntax.registers = confirmed
     return syntax
 

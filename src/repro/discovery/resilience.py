@@ -48,6 +48,19 @@ class RetryStats:
     breaker_rejections: int = 0
     total_backoff: float = 0.0
 
+    def add(self, other):
+        """Accumulate another connection's counters (pool aggregation)."""
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.transient_errors += other.transient_errors
+        self.timeouts += other.timeouts
+        self.gave_up += other.gave_up
+        self.vote_runs += other.vote_runs
+        self.vote_conflicts += other.vote_conflicts
+        self.breaker_rejections += other.breaker_rejections
+        self.total_backoff += other.total_backoff
+        return self
+
 
 class RetryPolicy:
     """Exponential backoff with deterministic jitter and a retry budget.
@@ -260,6 +273,16 @@ class ResilientMachine:
         self.config = config or ResilienceConfig()
         self.policy = policy or self.config.build_policy()
         self.breaker = breaker or self.config.build_breaker()
+
+    def clone_connection(self, index=0):
+        """A parallel connection with its own retry policy and breaker.
+
+        Retry state must be per-connection (a breaker tripped by one
+        worker's probes should not blind another's), so the clone gets a
+        fresh policy/breaker from the same config; aggregate the
+        :class:`RetryStats` with :meth:`RetryStats.add`.
+        """
+        return ResilientMachine(self.inner.clone_connection(index), config=self.config)
 
     # -- passthrough surface ------------------------------------------
 

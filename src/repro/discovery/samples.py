@@ -108,6 +108,20 @@ class Corpus:
         self.samples = []
         self._init_cache = {}
 
+    def bind(self, machine):
+        """A view of this corpus over another target connection.
+
+        Samples and syntax are shared (scheduler tasks each own their
+        sample, so concurrent mutation of *different* samples is safe);
+        the connection and the init-object cache are private, because
+        assembled handles belong to the connection that made them.
+        """
+        if machine is self.machine:
+            return self
+        view = Corpus(machine, self.syntax)
+        view.samples = self.samples
+        return view
+
     # -- target interaction ------------------------------------------------
 
     def init_object(self, values):

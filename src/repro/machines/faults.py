@@ -35,6 +35,7 @@ Fault kinds:
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import TargetTimeoutError, TransientTargetError
@@ -58,6 +59,15 @@ class FaultStats:
     @property
     def injected(self):
         return self.drops + self.crashes + self.timeouts + self.corruptions
+
+    def add(self, other):
+        """Accumulate another connection's counters (pool aggregation)."""
+        self.drops += other.drops
+        self.crashes += other.crashes
+        self.timeouts += other.timeouts
+        self.corruptions += other.corruptions
+        self.clean_calls += other.clean_calls
+        return self
 
 
 @dataclass
@@ -155,6 +165,28 @@ class FaultyMachine:
         self.inner = machine
         self.plan = plan
         self.fault_stats = FaultStats()
+        self._stats_lock = threading.Lock()
+
+    def clone_connection(self, index=0):
+        """A parallel connection over the same flaky network.
+
+        Each connection draws faults from its own stream, seeded from
+        the plan seed and the connection index, so a worker pool's fault
+        sequence is deterministic per (seed, connection) regardless of
+        how samples are interleaved across connections.  All connections
+        report into one shared (lock-guarded) FaultStats, so the handle
+        the caller kept sees the whole pool's fault count.
+        """
+        plan = FaultPlan(
+            rate=self.plan.rate,
+            seed=self.plan.seed + 7919 * (index + 1),
+            weights=dict(self.plan.weights),
+            max_consecutive=self.plan.max_consecutive,
+        )
+        clone = FaultyMachine(self.inner.clone_connection(index), plan=plan)
+        clone.fault_stats = self.fault_stats
+        clone._stats_lock = self._stats_lock
+        return clone
 
     # -- passthrough surface ------------------------------------------
 
@@ -174,22 +206,26 @@ class FaultyMachine:
 
     # -- fault machinery ----------------------------------------------
 
+    def _bump(self, counter):
+        with self._stats_lock:
+            setattr(self.fault_stats, counter, getattr(self.fault_stats, counter) + 1)
+
     def _fault(self, verb):
         kind = self.plan.decide(verb)
         if kind is None:
-            self.fault_stats.clean_calls += 1
+            self._bump("clean_calls")
             return None
         if kind == "drop":
-            self.fault_stats.drops += 1
+            self._bump("drops")
             raise TransientTargetError(f"connection to target dropped during {verb}")
         return kind
 
     def _after(self, verb, kind):
         if kind == "crash":
-            self.fault_stats.crashes += 1
+            self._bump("crashes")
             raise TransientTargetError(f"remote {verb} tool crashed")
         if kind == "timeout":
-            self.fault_stats.timeouts += 1
+            self._bump("timeouts")
             raise TargetTimeoutError(f"remote {verb} timed out")
 
     # -- the four remote verbs ----------------------------------------
@@ -226,7 +262,7 @@ class FaultyMachine:
         result = self.inner.execute(executable)
         self._after("execute", kind)
         if kind == "corrupt" and result.ok:
-            self.fault_stats.corruptions += 1
+            self._bump("corruptions")
             from dataclasses import replace
 
             return replace(result, output=self.plan.corrupt_output(result.output))

@@ -16,6 +16,7 @@ currency) an analysis costs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import LinkerError
@@ -94,6 +95,20 @@ class MachineStats:
             self.executions,
         )
 
+    def add(self, other):
+        """Accumulate another connection's counters (pool aggregation)."""
+        self.compilations += other.compilations
+        self.assemblies += other.assemblies
+        self.assembly_errors += other.assembly_errors
+        self.links += other.links
+        self.executions += other.executions
+        return self
+
+    @property
+    def total_verbs(self):
+        """Remote round-trips: the paper's dominant cost."""
+        return self.compilations + self.assemblies + self.links + self.executions
+
 
 @dataclass
 class _Session:
@@ -108,18 +123,38 @@ class RemoteMachine:
     input, a linker, and remote execution.
     """
 
-    def __init__(self, target, toolchain=None, fuel=500_000):
+    def __init__(self, target, toolchain=None, fuel=500_000, latency=0.0):
         if target not in _TARGETS:
             raise ValueError(f"unknown target {target!r}; have {target_names()}")
         build_isa, build_runtime = _TARGETS[target]
         self.target = target
         self.toolchain = toolchain or Toolchain()
         self.fuel = fuel
+        #: simulated network round-trip per remote verb, in seconds; the
+        #: wait happens outside the simulated tool, so concurrent
+        #: connections overlap it exactly as real rsh sessions would
+        self.latency = latency
         self._isa = build_isa()
         self._runtime = build_runtime()
         self._assembler = Assembler(self._isa)
         self._codegen = None
         self.stats = MachineStats()
+
+    def clone_connection(self, index=0):
+        """Open another independent connection to the same target host.
+
+        The clone has its own toolchain session state (assembler,
+        code generator) and its own invocation counters, so concurrent
+        use from one worker per connection is safe; aggregate counters
+        with :meth:`MachineStats.add`.
+        """
+        return RemoteMachine(
+            self.target, toolchain=self.toolchain, fuel=self.fuel, latency=self.latency
+        )
+
+    def _round_trip(self):
+        if self.latency:
+            time.sleep(self.latency)
 
     # -- the four remote verbs ----------------------------------------
 
@@ -131,12 +166,14 @@ class RemoteMachine:
         Raises :class:`~repro.errors.CompilerError` on bad programs.
         """
         self.stats.compilations += 1
+        self._round_trip()
         return self._get_codegen().compile(source, headers or {})
 
     def assemble(self, asm_text):
         """Run the native assembler; raises
         :class:`~repro.errors.AssemblerError` on illegal input."""
         self.stats.assemblies += 1
+        self._round_trip()
         try:
             return ObjectHandle(self._assembler.assemble(asm_text))
         except Exception:
@@ -156,6 +193,7 @@ class RemoteMachine:
     def link(self, objects):
         """Run the native linker over object handles."""
         self.stats.links += 1
+        self._round_trip()
         objs = []
         for handle in objects:
             if not isinstance(handle, ObjectHandle):
@@ -167,6 +205,7 @@ class RemoteMachine:
         """Run the program "remotely"; returns
         :class:`~repro.machines.executor.ExecResult` (never raises)."""
         self.stats.executions += 1
+        self._round_trip()
         if not isinstance(executable, ExecutableHandle):
             raise LinkerError(f"not an executable handle: {executable!r}")
         return execute_program(executable._program, fuel=self.fuel)

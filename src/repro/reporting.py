@@ -45,6 +45,44 @@ def _resilience_summary(report):
     return out
 
 
+def _scheduler_summary(report):
+    """Worker-pool counters: how wide the run fanned out and where the
+    wall-clock went (per parallel phase)."""
+    stats = report.scheduler_stats
+    if stats is None:
+        return None
+    return {
+        "workers": stats.workers,
+        "connections": stats.connections,
+        "tasks": stats.tasks,
+        "task_failures": stats.task_failures,
+        "batches": stats.batches,
+        "max_in_flight": stats.max_in_flight,
+        "phase_seconds": {
+            name: round(seconds, 4) for name, seconds in stats.phase_seconds.items()
+        },
+    }
+
+
+def _cache_summary(report):
+    """Probe-cache counters; a warm rerun shows hits and zero remote
+    compiles/executions in machine_stats."""
+    stats = report.cache_stats
+    if stats is None:
+        return None
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "hit_rate": round(stats.hit_rate, 4),
+        "writes": stats.writes,
+        "loaded": stats.loaded,
+        "evictions": stats.evictions,
+        "corrupt_entries": stats.corrupt_entries,
+        "hits_by_verb": dict(stats.hits_by_verb),
+        "misses_by_verb": dict(stats.misses_by_verb),
+    }
+
+
 def write_report(report, directory):
     """Write all artifacts for one DiscoveryReport; returns the paths."""
     out = pathlib.Path(directory)
@@ -67,6 +105,12 @@ def write_report(report, directory):
     summary["phases"] = {t.name: round(t.seconds, 4) for t in report.timings}
     summary["spec"] = report.spec.summary()
     summary["resilience"] = _resilience_summary(report)
+    scheduler = _scheduler_summary(report)
+    if scheduler is not None:
+        summary["scheduler"] = scheduler
+    cache = _cache_summary(report)
+    if cache is not None:
+        summary["cache"] = cache
     summary_path.write_text(json.dumps(summary, indent=2) + "\n")
     written.append(summary_path)
 
