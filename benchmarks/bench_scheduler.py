@@ -12,9 +12,7 @@ determinism contract: faster must never mean different.
 import os
 import time
 
-import pytest
 
-from benchmarks import benchjson
 from benchmarks.conftest import TARGETS
 
 from repro.discovery.driver import ArchitectureDiscovery

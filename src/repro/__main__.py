@@ -6,6 +6,8 @@
                              [--latency SECONDS]
     python -m repro retarget <target>... --program FILE.a
     python -m repro run <target> --program FILE.a
+    python -m repro lint [<target>...] [--source PATH] [--format text|json|sarif]
+                         [--fail-on error|warning|never] [--out FILE]
     python -m repro targets
 
 Mirrors the paper's user story: the only inputs are the target machine
@@ -132,6 +134,45 @@ def _cmd_run(args):
     return 0 if result.ok else 1
 
 
+def _cmd_lint(args):
+    """Static verification: speclint over each target's discovered
+    description, detlint over source paths.  Exit 0 when no finding
+    reaches the --fail-on threshold, 1 otherwise."""
+    from repro.analysis import DiagnosticSet, lint_paths
+    from repro.analysis.formats import render
+
+    merged = DiagnosticSet()
+    targets = list(args.targets)
+    unknown = [t for t in targets if t not in target_names()]
+    if unknown:
+        print(
+            f"unknown target(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(target_names())})",
+            file=sys.stderr,
+        )
+        return 2
+    if not targets and not args.source:
+        targets = list(target_names())
+    if targets:
+        from repro.discovery.driver import ArchitectureDiscovery
+
+        for target in targets:
+            report = ArchitectureDiscovery(
+                RemoteMachine(target), seed=args.seed
+            ).run()
+            merged.extend(report.diagnostics)
+    if args.source:
+        merged.extend(lint_paths(args.source))
+    text = render(merged, args.format)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 1 if merged.fails(args.fail_on) else 0
+
+
 def _fault_rate(text):
     rate = float(text)
     if not 0.0 <= rate <= 1.0:
@@ -207,12 +248,49 @@ def main(argv=None):
     p_run.add_argument("--emit-asm", action="store_true", help="print assembly only")
     p_run.add_argument("--seed", type=int, default=1997)
 
+    p_lint = sub.add_parser(
+        "lint", help="statically verify discovered machine descriptions"
+    )
+    # No choices= here: argparse (3.11) validates the empty default of a
+    # nargs="*" positional against choices and rejects it; _cmd_lint
+    # validates the names itself.
+    p_lint.add_argument(
+        "targets",
+        nargs="*",
+        metavar="target",
+        help="targets to discover and speclint (default: all, "
+        "unless --source is given)",
+    )
+    p_lint.add_argument(
+        "--source",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="also run the determinism lint over this file/directory "
+        "(repeatable)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p_lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="exit 1 when a finding at this severity or worse exists",
+    )
+    p_lint.add_argument("--out", help="write the report to this file")
+    p_lint.add_argument("--seed", type=int, default=1997)
+
     args = parser.parse_args(argv)
     handler = {
         "targets": _cmd_targets,
         "discover": _cmd_discover,
         "retarget": _cmd_retarget,
         "run": _cmd_run,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

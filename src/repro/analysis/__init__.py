@@ -1,0 +1,40 @@
+"""Static analysis over discovery artifacts.
+
+Two passes protect the discovery -> codegen seam:
+
+- :mod:`repro.analysis.speclint` verifies properties of a discovered
+  :class:`~repro.beg.spec.MachineSpec` *before* it reaches the back-end
+  generator: IR-operator coverage closure, def/use soundness of every
+  emission template against the mutation-analysis semantics table,
+  register-class consistency, immediate-range CONDITION validity, and
+  dead/duplicate-rule detection.  Diagnostics carry stable ``SPECnnn``
+  codes.
+- :mod:`repro.analysis.detlint` is an AST lint over the discovery
+  sources themselves that statically bans determinism hazards (unseeded
+  RNGs, wall-clock reads, iteration over unordered sets), protecting
+  the workers=N == workers=1 bit-for-bit guarantee.  Codes are
+  ``DETnnn``.
+
+Both passes emit :class:`~repro.analysis.diagnostics.Diagnostic`
+records collected in a :class:`~repro.analysis.diagnostics.DiagnosticSet`
+renderable as text, JSON, or SARIF (:mod:`repro.analysis.formats`).
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticSet,
+    severity_at_least,
+)
+from repro.analysis.detlint import lint_paths, lint_source
+from repro.analysis.speclint import lint_spec
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "DiagnosticSet",
+    "lint_paths",
+    "lint_source",
+    "lint_spec",
+    "severity_at_least",
+]

@@ -1,0 +1,298 @@
+"""detlint: an AST lint that statically bans determinism hazards.
+
+The scheduler guarantees the discovered description is bit-for-bit
+identical for any worker count.  That guarantee is only as strong as
+the discovery sources: one unseeded RNG, one wall-clock read feeding a
+probe, or one iteration over an unordered set feeding emitted output
+silently breaks it.  detlint walks the AST of every discovery module
+and rejects the patterns outright:
+
+- **DET001** ``random.Random()`` constructed without a seed;
+- **DET002** any call through the global ``random`` module RNG
+  (``random.random``, ``random.choice``, ``random.shuffle``, ...);
+- **DET003** wall-clock reads (``time.time``, ``time.time_ns``,
+  ``datetime.now``/``utcnow``/``today``) -- monotonic timing via
+  ``time.perf_counter``/``time.monotonic`` stays legal because it only
+  feeds measurements, never probe decisions or emitted output;
+- **DET004** iteration over a bare ``set`` (a ``for`` loop or a
+  comprehension over a set literal, ``set(...)`` call, set
+  comprehension, set-producing method, or a local variable holding
+  one) -- wrap the set in ``sorted(...)`` to fix the order.
+  Order-insensitive consumers (``any``, ``all``, ``sum``, ``min``,
+  ``max``, ``len``) are exempt.
+
+A finding can be waived for one line with a trailing
+``# detlint: ok`` or ``# detlint: ok[DET004]`` comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+
+from repro.analysis.diagnostics import DiagnosticSet
+
+#: global-RNG entry points on the random module
+_GLOBAL_RANDOM = frozenset(
+    (
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "paretovariate", "randbytes", "randint", "random",
+        "randrange", "sample", "seed", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    )
+)
+
+#: dotted call paths that read the wall clock
+_WALL_CLOCK = frozenset(
+    (
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    )
+)
+
+#: set methods that return a new set
+_SET_METHODS = frozenset(
+    ("union", "intersection", "difference", "symmetric_difference", "copy")
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*detlint:\s*ok(?:\[([A-Z0-9, ]+)\])?")
+
+#: callables whose result does not depend on argument iteration order
+_ORDER_INSENSITIVE = frozenset(
+    ("any", "all", "sum", "min", "max", "len", "sorted", "set", "frozenset")
+)
+
+
+def lint_source(text, filename="<source>"):
+    """Lint one module's source text; returns a DiagnosticSet."""
+    out = DiagnosticSet()
+    try:
+        tree = ast.parse(text, filename=filename)
+    except SyntaxError as exc:
+        out.add(
+            "DET003",
+            f"cannot parse {filename}: {exc}",
+            where=filename,
+            line=exc.lineno or 0,
+            severity="warning",
+        )
+        return out
+    linter = _ModuleLinter(filename, text.splitlines())
+    linter.visit(tree)
+    out.diagnostics.extend(linter.findings)
+    return out
+
+
+def lint_paths(paths):
+    """Lint every ``*.py`` file under the given files/directories."""
+    out = DiagnosticSet()
+    files = []
+    for path in paths:
+        path = pathlib.Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    for path in files:
+        out.extend(lint_source(path.read_text(), filename=str(path)))
+    return out
+
+
+class _ModuleLinter(ast.NodeVisitor):
+    def __init__(self, filename, lines):
+        self.filename = filename
+        self.lines = lines
+        self.findings = []
+        #: local alias -> canonical module path ("random", "time", ...)
+        self.module_aliases = {}
+        #: imported name -> canonical dotted path ("time.time", ...)
+        self.name_aliases = {}
+        #: per-function stack of {name} sets known to hold bare sets
+        self.set_vars = [set()]
+        #: ids of comprehensions fed to order-insensitive consumers
+        self._exempt = set()
+
+    # -- reporting -----------------------------------------------------
+
+    def report(self, code, message, node):
+        line = getattr(node, "lineno", 0)
+        if self._suppressed(line, code):
+            return
+        from repro.analysis.diagnostics import Diagnostic
+
+        self.findings.append(
+            Diagnostic(code, message, where=self.filename, line=line)
+        )
+
+    def _suppressed(self, line, code):
+        if not 1 <= line <= len(self.lines):
+            return False
+        match = _SUPPRESS_RE.search(self.lines[line - 1])
+        if not match:
+            return False
+        codes = match.group(1)
+        if not codes:
+            return True
+        return code in {c.strip() for c in codes.split(",")}
+
+    # -- import tracking -----------------------------------------------
+
+    def visit_Import(self, node):
+        for alias in node.names:
+            self.module_aliases[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node):
+        if node.module:
+            for alias in node.names:
+                self.name_aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    def _call_path(self, func):
+        """The canonical dotted path of a call target, or None."""
+        parts = []
+        while isinstance(func, ast.Attribute):
+            parts.append(func.attr)
+            func = func.value
+        if not isinstance(func, ast.Name):
+            return None
+        root = func.id
+        parts.reverse()
+        if root in self.module_aliases:
+            return ".".join([self.module_aliases[root]] + parts)
+        if root in self.name_aliases and not parts:
+            return self.name_aliases[root]
+        if root in self.name_aliases:
+            return ".".join([self.name_aliases[root]] + parts)
+        return ".".join([root] + parts)
+
+    # -- scope handling for set-variable tracking ----------------------
+
+    def visit_FunctionDef(self, node):
+        self.set_vars.append(set())
+        self.generic_visit(node)
+        self.set_vars.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Assign(self, node):
+        is_set = self._is_bare_set(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_set:
+                    self.set_vars[-1].add(target.id)
+                else:
+                    self.set_vars[-1].discard(target.id)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node):
+        # x |= {...} keeps x a set; any other augmented target keeps its
+        # previous classification.
+        self.generic_visit(node)
+
+    # -- the rules -----------------------------------------------------
+
+    def visit_Call(self, node):
+        path = self._call_path(node.func)
+        if path == "random.Random" and not node.args and not node.keywords:
+            self.report(
+                "DET001",
+                "random.Random() without a seed draws from OS entropy; "
+                "pass an explicit seed",
+                node,
+            )
+        elif path is not None and path.startswith("random."):
+            tail = path[len("random."):]
+            if tail in _GLOBAL_RANDOM:
+                self.report(
+                    "DET002",
+                    f"{path}() uses the process-global RNG; use a seeded "
+                    "random.Random instance",
+                    node,
+                )
+        if path in _WALL_CLOCK:
+            self.report(
+                "DET003",
+                f"{path}() reads the wall clock; probe paths must be "
+                "deterministic (time.perf_counter is fine for timings)",
+                node,
+            )
+        if path in _ORDER_INSENSITIVE:
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                    self._exempt.add(id(arg))
+        # list(<set>) / tuple(<set>) / "sep".join(<set>) materialise an
+        # unordered iteration just like a for loop does.
+        if path in ("list", "tuple") and node.args:
+            self._check_iteration(node.args[0], node)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+        ):
+            self._check_iteration(node.args[0], node)
+        self.generic_visit(node)
+
+    def visit_For(self, node):
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    visit_AsyncFor = visit_For
+
+    def _visit_comprehension(self, node):
+        if id(node) not in self._exempt:
+            for gen in node.generators:
+                self._check_iteration(gen.iter, gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def visit_SetComp(self, node):
+        # Feeding a set from an unordered source is fine -- the result
+        # is unordered either way; only its eventual iteration matters.
+        self.generic_visit(node)
+
+    def _check_iteration(self, iter_node, report_node):
+        if self._is_bare_set(iter_node):
+            self.report(
+                "DET004",
+                "iteration over an unordered set; wrap it in sorted(...) "
+                "so emitted output cannot depend on hash order",
+                report_node,
+            )
+
+    def _is_bare_set(self, node):
+        """Does this expression produce a set nothing has ordered?"""
+        if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_vars[-1]
+        if isinstance(node, ast.Call):
+            path = self._call_path(node.func)
+            if path in ("set", "frozenset"):
+                return True
+            if path in ("set.union", "set.intersection", "frozenset.union"):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+                and self._is_bare_set(node.func.value)
+            ):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+        ):
+            return self._is_bare_set(node.left) or (
+                isinstance(node.left, ast.Name)
+                and self._is_bare_set(node.right)
+            )
+        return False

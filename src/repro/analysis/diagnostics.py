@@ -1,0 +1,155 @@
+"""Diagnostic records and the stable code registry.
+
+Every finding either pass can produce is declared here, once, with a
+stable code, a default severity, and a short title.  Tests pin the
+codes; the SARIF output derives its rule table from this registry; the
+DESIGN.md code table mirrors it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: severity names, weakest first (ordering is used by --fail-on)
+SEVERITIES = ("info", "warning", "error")
+
+#: code -> (default severity, short title)
+CODES = {
+    # -- speclint: coverage closure -----------------------------------
+    "SPEC001": ("error", "IR operator has no emission rule"),
+    "SPEC002": ("warning", "IR operator covered only by an immediate-form rule"),
+    "SPEC003": ("error", "branch relation has no emission rule"),
+    "SPEC004": ("error", "core template missing from the description"),
+    # -- speclint: def/use soundness ----------------------------------
+    "SPEC010": ("error", "rule template never defines its result"),
+    "SPEC011": ("error", "template slot is read before it is defined"),
+    "SPEC012": ("error", "template clobbers a register left allocatable"),
+    "SPEC013": ("warning", "template instruction absent from the semantics table"),
+    "SPEC014": ("warning", "rule survives with unverified semantics"),
+    # -- speclint: register-class consistency -------------------------
+    "SPEC020": ("error", "slot register class escapes the allocatable set"),
+    "SPEC021": ("warning", "empty register class is treated as unconstrained"),
+    "SPEC022": ("error", "hardwired or failed register is allocatable"),
+    # -- speclint: immediate ranges -----------------------------------
+    "SPEC030": ("error", "immediate-range CONDITION is empty"),
+    "SPEC031": ("error", "immediate-form rule has no immediate slot"),
+    "SPEC032": ("error", "immediate CONDITION wider than the probed range"),
+    "SPEC033": ("warning", "rule overlap without a cost tie-break"),
+    # -- speclint: dead/duplicate rules, addressing modes -------------
+    "SPEC040": ("warning", "duplicate emission template across operators"),
+    "SPEC041": ("warning", "rule for an operator the IR never emits"),
+    "SPEC042": ("warning", "declared addressing mode is unreachable"),
+    "SPEC043": ("warning", "chain rule references an undeclared addressing mode"),
+    # -- detlint: determinism hazards in discovery sources ------------
+    "DET001": ("error", "unseeded random.Random()"),
+    "DET002": ("error", "call through the global random module RNG"),
+    "DET003": ("error", "wall-clock read in a probe path"),
+    "DET004": ("error", "iteration over an unordered set"),
+}
+
+
+def severity_at_least(severity, threshold):
+    """True when *severity* is as bad as or worse than *threshold*."""
+    return SEVERITIES.index(severity) >= SEVERITIES.index(threshold)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding.
+
+    ``where`` names the object the finding is about -- a rule or
+    template for speclint (for example ``"rules[Plus]"``), a repo
+    relative path for detlint.  ``line`` is 1-based and only set by
+    detlint.
+    """
+
+    code: str
+    message: str
+    where: str = ""
+    target: str = ""  # machine target for speclint findings
+    line: int = 0
+    severity: str = ""  # defaulted from CODES when empty
+
+    def __post_init__(self):
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+        if not self.severity:
+            object.__setattr__(self, "severity", CODES[self.code][0])
+        elif self.severity not in SEVERITIES:
+            raise ValueError(f"bad severity {self.severity!r}")
+
+    def render(self):
+        place = self.where
+        if self.target:
+            place = f"{self.target}:{place}" if place else self.target
+        if self.line:
+            place = f"{place}:{self.line}"
+        prefix = f"{place}: " if place else ""
+        return f"{prefix}{self.severity} {self.code}: {self.message}"
+
+    def to_dict(self):
+        out = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.target:
+            out["target"] = self.target
+        if self.where:
+            out["where"] = self.where
+        if self.line:
+            out["line"] = self.line
+        return out
+
+
+@dataclass
+class DiagnosticSet:
+    """An ordered collection of findings plus the fail/exit policy."""
+
+    diagnostics: list = field(default_factory=list)
+
+    def add(self, code, message, **kwargs):
+        self.diagnostics.append(Diagnostic(code, message, **kwargs))
+
+    def extend(self, other):
+        self.diagnostics.extend(other.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self):
+        return len(self.diagnostics)
+
+    def __bool__(self):
+        return bool(self.diagnostics)
+
+    def codes(self):
+        return sorted({d.code for d in self.diagnostics})
+
+    def by_severity(self, severity):
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self):
+        return self.by_severity("error")
+
+    @property
+    def warnings(self):
+        return self.by_severity("warning")
+
+    def counts(self):
+        return {
+            severity: len(self.by_severity(severity))
+            for severity in reversed(SEVERITIES)
+        }
+
+    def fails(self, threshold="error"):
+        """Should this set fail a --fail-on *threshold* gate?"""
+        if threshold == "never":
+            return False
+        return any(
+            severity_at_least(d.severity, threshold) for d in self.diagnostics
+        )
+
+    def to_dicts(self):
+        return [d.to_dict() for d in self.diagnostics]

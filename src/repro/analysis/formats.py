@@ -1,0 +1,108 @@
+"""Render a DiagnosticSet as text, JSON, or SARIF.
+
+SARIF 2.1.0 is the interchange format CI systems ingest (GitHub code
+scanning among them); the rule table is derived from the registry in
+:mod:`repro.analysis.diagnostics` so codes, titles, and default
+severities stay in one place.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import CODES
+
+FORMATS = ("text", "json", "sarif")
+
+_SARIF_LEVEL = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def render(diagnostics, fmt="text", tool="repro-lint"):
+    if fmt == "text":
+        return render_text(diagnostics)
+    if fmt == "json":
+        return render_json(diagnostics)
+    if fmt == "sarif":
+        return render_sarif(diagnostics, tool=tool)
+    raise ValueError(f"unknown format {fmt!r}; pick one of {', '.join(FORMATS)}")
+
+
+def render_text(diagnostics):
+    lines = [d.render() for d in diagnostics]
+    counts = diagnostics.counts()
+    summary = ", ".join(f"{n} {sev}{'s' if n != 1 else ''}" for sev, n in counts.items())
+    lines.append(f"{len(diagnostics)} finding{'s' if len(diagnostics) != 1 else ''}"
+                 + (f" ({summary})" if len(diagnostics) else ""))
+    return "\n".join(lines)
+
+
+def render_json(diagnostics):
+    return json.dumps(
+        {
+            "findings": diagnostics.to_dicts(),
+            "counts": diagnostics.counts(),
+        },
+        indent=2,
+    )
+
+
+def render_sarif(diagnostics, tool="repro-lint"):
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": title},
+            "defaultConfiguration": {"level": _SARIF_LEVEL[severity]},
+        }
+        for code, (severity, title) in sorted(CODES.items())
+    ]
+    results = []
+    for diag in diagnostics:
+        result = {
+            "ruleId": diag.code,
+            "level": _SARIF_LEVEL[diag.severity],
+            "message": {"text": diag.message},
+        }
+        location = {}
+        if diag.line:
+            location = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diag.where},
+                    "region": {"startLine": diag.line},
+                }
+            }
+        elif diag.where or diag.target:
+            name = diag.where or diag.target
+            location = {
+                "logicalLocations": [
+                    {
+                        "fullyQualifiedName": (
+                            f"{diag.target}::{diag.where}"
+                            if diag.target and diag.where
+                            else name
+                        )
+                    }
+                ]
+            }
+        if location:
+            result["locations"] = [location]
+        results.append(result)
+    sarif = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2)

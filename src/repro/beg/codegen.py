@@ -23,7 +23,7 @@ from repro.beg.ir import (
     RELATIONS,
     UnOp,
 )
-from repro.discovery.asmmodel import DImm, DMem, DReg, DSym, instantiate
+from repro.discovery.asmmodel import DImm, DReg, DSym, instantiate
 from repro.errors import ReproError
 
 
@@ -169,7 +169,7 @@ class GeneratedBackend:
         pool = self._fresh_pool()
         mapping = {}
         slots_used = rule.slots_used()
-        classes = getattr(rule, "slot_classes", None) or {}
+        classes = rule.slot_classes
 
         def slot_class(name):
             allowed = classes.get(name)
@@ -231,7 +231,7 @@ class GeneratedBackend:
             left_slot = self._gen_expr(stmt.left, temps)
             right_slot = self._gen_expr(stmt.right, temps)
             pool = self._fresh_pool()
-            classes = getattr(rule, "slot_classes", None) or {}
+            classes = rule.slot_classes
 
             def slot_class(name):
                 allowed = classes.get(name)

@@ -37,7 +37,7 @@ class OpRule:
     source_sample: str = ""
     #: slot name -> registers the assembler accepts there (register
     #: classes, probed; empty dict means unconstrained)
-    slot_classes: dict = None
+    slot_classes: dict = field(default_factory=dict)
 
     def slots_used(self):
         names = set()
@@ -82,6 +82,9 @@ class MachineSpec:
     #: discovered instruction semantics (opkey -> OpSemantics)
     semantics: dict = field(default_factory=dict)
     notes: list = field(default_factory=list)
+    #: speclint findings recorded against this description (dicts in
+    #: Diagnostic.to_dict() form; filled by the driver's lint phase)
+    diagnostics: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
 
@@ -148,6 +151,10 @@ class MachineSpec:
         return instr.mnemonic
 
     def summary(self):
+        by_severity = {}
+        for entry in self.diagnostics:
+            severity = entry.get("severity", "warning")
+            by_severity[severity] = by_severity.get(severity, 0) + 1
         return {
             "target": self.target,
             "word_bits": self.word_bits,
@@ -158,4 +165,13 @@ class MachineSpec:
             "branch_rules": sorted(self.branch.rules) if self.branch else [],
             "instructions_discovered": len(self.semantics),
             "chain_rules": len(self.chain_rules),
+            "imm_ranges": {
+                f"{mnemonic}[{operand}]": list(bounds)
+                for (mnemonic, operand), bounds in sorted(self.imm_ranges.items())
+            },
+            "addressing_modes": dict(sorted(self.addressing_modes.items())),
+            "diagnostics": {
+                "counts": by_severity,
+                "entries": list(self.diagnostics),
+            },
         }

@@ -31,6 +31,8 @@ class BranchRule:
     relation: str  # "isLT" | ... (RELATIONS key)
     instrs: list  # template DInstrs with Slot operands
     semantics: str = ""  # human-readable derivation for the report
+    #: slot name -> registers the assembler accepts there (cf. OpRule)
+    slot_classes: dict = field(default_factory=dict)
 
 
 @dataclass

@@ -155,7 +155,7 @@ class CallAnalysis:
         # loads do, and a push may be a multi-instruction sequence like
         # the 68000's sub.l/move.l pair); the push proper is the scaling
         # mnemonic executed last before the call.
-        candidates = [m for m in set(pre2) if pre2.count(m) > pre1.count(m)]
+        candidates = [m for m in sorted(set(pre2)) if pre2.count(m) > pre1.count(m)]
         if not candidates:
             raise DiscoveryError("no per-argument push instruction found")
         push_mnemonic = max(

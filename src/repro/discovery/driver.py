@@ -91,6 +91,7 @@ class DiscoveryReport:
     fault_stats: object = None  # faults.FaultStats, when injecting
     scheduler_stats: object = None  # scheduler.SchedulerStats
     cache_stats: object = None  # cache.CacheStats, when caching
+    diagnostics: object = None  # analysis.DiagnosticSet from the lint phase
 
     def summary(self):
         """The headline numbers.  Every field is guarded: a report from
@@ -142,6 +143,10 @@ class DiscoveryReport:
                 f"degraded: {usable}/{total} samples analysed, "
                 f"{len(self.quarantined)} quarantined"
             )
+        if self.diagnostics is not None:
+            counts = self.diagnostics.counts()
+            out["lint_errors"] = counts.get("error", 0)
+            out["lint_warnings"] = counts.get("warning", 0)
         return out
 
     def render_summary(self):
@@ -155,6 +160,10 @@ class DiscoveryReport:
             lines.append("  quarantined samples:")
             for entry in self.quarantined:
                 lines.append(f"    {entry['sample']:24s}: {entry['reason']}")
+        if self.diagnostics is not None and self.diagnostics.diagnostics:
+            lines.append("  lint diagnostics:")
+            for diag in self.diagnostics.diagnostics:
+                lines.append(f"    {diag.severity:7s} {diag.code} {diag.where}")
         return "\n".join(lines)
 
 
@@ -210,6 +219,7 @@ class ArchitectureDiscovery:
         ("calling convention", "_phase_calling"),
         ("frames and idioms", "_phase_frames"),
         ("synthesis", "_phase_synthesize"),
+        ("spec lint", "_phase_speclint"),
     )
 
     def __init__(
@@ -450,6 +460,15 @@ class ArchitectureDiscovery:
             call_protocol=report.call_protocol,
             frame_model=report.frame_model,
         )
+
+    def _phase_speclint(self, report, state):
+        """Static verification of the synthesised description.  Findings
+        never abort discovery -- they travel on the report and the spec
+        so summaries, reports and the CLI can gate on them."""
+        from repro.analysis import lint_spec
+
+        report.diagnostics = lint_spec(report.spec)
+        report.spec.diagnostics = report.diagnostics.to_dicts()
 
 
 class _Clock:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.discovery.asmmodel import DImm, DMem, DSym, Slot, split_lines
+from repro.discovery.asmmodel import DImm, DMem, DSym, Slot
 from repro.discovery.lexer import tokenize_region
 from repro.errors import DiscoveryError
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import random
 
-from repro import wordops
 from repro.discovery import values as mc
 from repro.discovery.samples import INIT_HEADER, Corpus, Sample, make_main_source
 from repro.errors import TargetError

@@ -9,7 +9,7 @@ referenced at least three times."
 
 from __future__ import annotations
 
-from repro.discovery.asmmodel import DInstr, split_lines, split_operand_texts
+from repro.discovery.asmmodel import DInstr, split_lines
 from repro.errors import DiscoveryError
 
 

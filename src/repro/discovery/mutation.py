@@ -13,7 +13,7 @@ mutation cannot succeed by chance.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro import wordops
 from repro.discovery.asmmodel import DInstr, DReg

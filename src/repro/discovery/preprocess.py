@@ -260,7 +260,7 @@ class Preprocessor:
         if not unresolved:
             return
         dependent = set()
-        for reg in {r.reg for r in unresolved}:
+        for reg in sorted({r.reg for r in unresolved}):
             if self._dependence(sample, reg):
                 dependent.add(reg)
         info.dependent_regs = sorted(dependent)

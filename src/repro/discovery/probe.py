@@ -20,7 +20,7 @@ from repro.errors import (
     TransientTargetError,
 )
 from repro.discovery.asmmodel import is_identifier, split_lines
-from repro.discovery.syntax import DiscoveredSyntax, LoadImmTemplate
+from repro.discovery.syntax import LoadImmTemplate
 
 #: comment characters tried, most common first (the paper starts from the
 #: assembly of `main(){}` and appends an obviously erroneous line)

@@ -24,7 +24,7 @@ extra target executions.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import (
     PermanentTargetError,

@@ -21,7 +21,7 @@ from repro import wordops
 from repro.beg.spec import MachineSpec, OpRule
 from repro.discovery import probe
 from repro.discovery.asmmodel import DImm, DMem, DReg, Slot, instantiate
-from repro.discovery.reverse_interp import check_sample, interpret_region, opkey
+from repro.discovery.reverse_interp import interpret_region, opkey
 from repro.errors import DiscoveryError
 
 _IR_OF_C = {
@@ -380,7 +380,7 @@ class Synthesizer:
                 continue
             if not self._runtime_check_rule(spec, rule, c_op, imm=sample_konst(sample)):
                 continue
-            rule.imm_range = self._rule_imm_range(sample, rule)
+            rule.imm_range = self._rule_imm_range(spec, sample, rule)
             spec.imm_rules[ir_op] = rule
 
     def _rule_sample(self, kind, c_op, shape):
@@ -673,7 +673,7 @@ class Synthesizer:
 
         mapping = {}
         index = 0
-        classes = rule.slot_classes or {}
+        classes = rule.slot_classes
         taken = set()
 
         def fresh_reg(slot=None):
@@ -768,8 +768,9 @@ class Synthesizer:
             self._baseline_steps = None
         return self._baseline_steps
 
-    def _rule_imm_range(self, sample, rule):
-        """Probe the accepted range of the rule's immediate operand."""
+    def _rule_imm_range(self, spec, sample, rule):
+        """Probe the accepted range of the rule's immediate operand and
+        record it in the spec's per-instruction range table."""
         for instr in rule.instrs:
             for k, op in enumerate(instr.operands):
                 if isinstance(op, Slot) and op.name == "imm":
@@ -791,6 +792,7 @@ class Synthesizer:
                     limit = 2**31
                     if lo <= -limit and hi >= limit - 1:
                         return None  # unrestricted
+                    spec.imm_ranges[(instr.mnemonic, k)] = (lo, hi)
                     return (lo, hi)
         return None
 
@@ -815,8 +817,14 @@ class Synthesizer:
         for mode in sorted(modes):
             spec.addressing_modes[mode] = semantics_of.get(mode, "loadAddr(?)")
         if any("+disp" in mode for mode in modes):
-            base_mode = next(m for m in modes if "+disp" in m)
+            base_mode = next(m for m in sorted(modes) if "+disp" in m)
             bare = base_mode.replace("+disp", "")
+            # The chain rule introduces the bare mode even when no sample
+            # exercised it; declare its semantics so the description stays
+            # closed under its own rewrite rules.
+            spec.addressing_modes.setdefault(
+                bare, semantics_of.get(bare, "loadAddr(?)")
+            )
             spec.chain_rules.append(
                 f"AddrMode[{base_mode}].a -> AddrMode[{bare}]  CONDITION {{ a.disp = 0 }};"
             )

@@ -9,7 +9,7 @@ produce.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro import wordops
 from repro.errors import ExecutionError

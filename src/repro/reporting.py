@@ -114,6 +114,13 @@ def write_report(report, directory):
     summary_path.write_text(json.dumps(summary, indent=2) + "\n")
     written.append(summary_path)
 
+    if report.diagnostics is not None:
+        from repro.analysis.formats import render
+
+        lint_path = out / f"{report.target}.lint.txt"
+        lint_path.write_text(render(report.diagnostics, "text") + "\n")
+        written.append(lint_path)
+
     dot_dir = out / "dfg"
     dot_dir.mkdir(exist_ok=True)
     for sample in report.corpus.usable_samples():

@@ -1,0 +1,22 @@
+"""Analysis-test fixtures.
+
+Discovery reports are shared with the discovery tests through the
+session cache in ``tests.discovery.conftest``; anything that mutates a
+spec must deepcopy it first (see ``corrupt_spec``).
+"""
+
+import copy
+
+import pytest
+
+from tests.discovery.conftest import TARGETS, discovery_report
+
+
+@pytest.fixture(params=TARGETS, scope="session")
+def report(request):
+    return discovery_report(request.param)
+
+
+def corrupt_spec(target):
+    """A private, freely mutable copy of a target's discovered spec."""
+    return copy.deepcopy(discovery_report(target).spec)

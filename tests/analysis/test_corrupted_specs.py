@@ -1,0 +1,230 @@
+"""Golden diagnostics: seeded corruptions of known-good specs.
+
+Each corruption mutates a deepcopy of a real discovered description in
+one specific way and asserts that speclint reports exactly the expected
+diagnostic code.  The battery runs against every simulated
+architecture, skipping corruptions a particular description cannot
+express (no immediate-range rule, no chain rules, ...).
+"""
+
+import copy
+
+import pytest
+
+from repro.analysis import lint_spec
+from repro.discovery.asmmodel import Slot
+from tests.analysis.conftest import corrupt_spec
+from tests.discovery.conftest import TARGETS
+
+
+def _some_rule(spec):
+    return spec.rules[sorted(spec.rules)[0]]
+
+
+# -- the corruption battery: name -> (mutate(spec) -> applied?, code) --
+
+
+def drop_binary_rule(spec):
+    if "Plus" not in spec.rules:
+        return False
+    del spec.rules["Plus"]
+    spec.imm_rules.pop("Plus", None)
+    return True
+
+
+def leave_imm_only_rule(spec):
+    if "Plus" not in spec.rules or "Plus" not in spec.imm_rules:
+        return False
+    del spec.rules["Plus"]
+    return True
+
+
+def drop_branch_rule(spec):
+    if not spec.branch or not spec.branch.rules:
+        return False
+    del spec.branch.rules[sorted(spec.branch.rules)[0]]
+    return True
+
+
+def drop_load_template(spec):
+    spec.load_template = []
+    return True
+
+
+def never_define_result(spec):
+    rule = _some_rule(spec)
+    rule.instrs = []
+    rule.two_address = False
+    rule.result_literal = None
+    return True
+
+
+def read_scratch_before_def(spec):
+    if not spec.reg_move:
+        return False
+    rename = {"src": "scratch0", "dest": "scratch1"}
+    probe = spec.reg_move[0].clone(
+        operands=[
+            Slot(rename[op.name]) if isinstance(op, Slot) else op
+            for op in spec.reg_move[0].operands
+        ]
+    )
+    rule = _some_rule(spec)
+    rule.instrs = [probe] + list(rule.instrs)
+    return True
+
+
+def result_in_allocatable_literal(spec):
+    if not spec.allocatable:
+        return False
+    _some_rule(spec).result_literal = spec.allocatable[0]
+    return True
+
+
+def unknown_template_instruction(spec):
+    rule = _some_rule(spec)
+    rule.instrs = [rule.instrs[0].clone(mnemonic="frobnicate")] + list(
+        rule.instrs[1:]
+    )
+    return True
+
+
+def unverified_rule(spec):
+    rule = _some_rule(spec)
+    rule.verified = False
+    rule.runtime_verified = False
+    return True
+
+
+def class_escapes_allocatable(spec):
+    _some_rule(spec).slot_classes["left"] = ["%bogus99"]
+    return True
+
+
+def empty_register_class(spec):
+    _some_rule(spec).slot_classes["left"] = []
+    return True
+
+
+def hardwired_reg_allocatable(spec):
+    if not spec.allocatable:
+        return False
+    spec.register_notes[spec.allocatable[0]] = "hardwired to 0"
+    return True
+
+
+def empty_imm_condition(spec):
+    if not spec.imm_rules:
+        return False
+    spec.imm_rules[sorted(spec.imm_rules)[0]].imm_range = (5, -5)
+    return True
+
+
+def imm_rule_without_imm_slot(spec):
+    if not spec.imm_rules:
+        return False
+    spec.imm_rules[sorted(spec.imm_rules)[0]].right_imm = False
+    return True
+
+
+def widen_imm_condition(spec):
+    for ir_op in sorted(spec.imm_rules):
+        rule = spec.imm_rules[ir_op]
+        if rule.imm_range is None:
+            continue
+        lo, hi = rule.imm_range
+        rule.imm_range = (lo - 4096, hi + 4096)
+        return True
+    return False
+
+
+def duplicate_template(spec):
+    if "Plus" not in spec.rules or "Minus" not in spec.rules:
+        return False
+    clone = copy.deepcopy(spec.rules["Plus"])
+    clone.ir_op = "Minus"
+    spec.rules["Minus"] = clone
+    return True
+
+
+def rule_for_unknown_operator(spec):
+    clone = copy.deepcopy(_some_rule(spec))
+    clone.ir_op = "Frobnicate"
+    spec.rules["Frobnicate"] = clone
+    return True
+
+
+def undeclared_chain_mode(spec):
+    if not spec.chain_rules:
+        return False
+    spec.addressing_modes.clear()
+    return True
+
+
+def unreachable_addressing_mode(spec):
+    spec.addressing_modes["xyzzy+plugh"] = "loadAddr(?)"
+    return True
+
+
+BATTERY = [
+    (drop_binary_rule, "SPEC001"),
+    (leave_imm_only_rule, "SPEC002"),
+    (drop_branch_rule, "SPEC003"),
+    (drop_load_template, "SPEC004"),
+    (never_define_result, "SPEC010"),
+    (read_scratch_before_def, "SPEC011"),
+    (result_in_allocatable_literal, "SPEC012"),
+    (unknown_template_instruction, "SPEC013"),
+    (unverified_rule, "SPEC014"),
+    (class_escapes_allocatable, "SPEC020"),
+    (empty_register_class, "SPEC021"),
+    (hardwired_reg_allocatable, "SPEC022"),
+    (empty_imm_condition, "SPEC030"),
+    (imm_rule_without_imm_slot, "SPEC031"),
+    (widen_imm_condition, "SPEC032"),
+    (duplicate_template, "SPEC040"),
+    (rule_for_unknown_operator, "SPEC041"),
+    (unreachable_addressing_mode, "SPEC042"),
+    (undeclared_chain_mode, "SPEC043"),
+]
+
+
+@pytest.mark.parametrize("target", TARGETS)
+@pytest.mark.parametrize("corrupt,code", BATTERY, ids=[c.__name__ for c, _ in BATTERY])
+def test_corruption_is_caught(target, corrupt, code):
+    spec = corrupt_spec(target)
+    baseline = set(lint_spec(spec).codes())
+    assert code not in baseline, f"{target} already reports {code} uncorrupted"
+    if not corrupt(spec):
+        pytest.skip(f"{target} cannot express {corrupt.__name__}")
+    found = lint_spec(spec).codes()
+    assert code in found, (
+        f"{target}: {corrupt.__name__} expected {code}, got {found}"
+    )
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_every_code_exercised_somewhere(target):
+    """Sanity: the battery is applicable widely enough that each SPEC
+    code is triggered on at least one architecture overall (checked
+    cheaply here via x86 as the canonical target)."""
+    if target != "x86":
+        pytest.skip("aggregate check runs once")
+    triggered = set()
+    for t in TARGETS:
+        for corrupt, code in BATTERY:
+            spec = corrupt_spec(t)
+            if corrupt(spec):
+                if code in lint_spec(spec).codes():
+                    triggered.add(code)
+    expected = {code for _c, code in BATTERY}
+    assert triggered == expected, expected - triggered
+
+
+def test_mips_equal_cost_overlap_is_flagged():
+    """SPEC033 needs no seeded corruption: the real MIPS description has
+    register and unrestricted-immediate rules at equal cost."""
+    from tests.discovery.conftest import discovery_report
+
+    diags = lint_spec(discovery_report("mips").spec)
+    assert "SPEC033" in diags.codes()

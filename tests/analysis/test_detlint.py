@@ -1,0 +1,155 @@
+"""detlint: the determinism lint over discovery sources.
+
+The discovery tree itself must be clean (that's the CI gate protecting
+the workers=N == workers=1 guarantee), and each DET code must fire on a
+synthetic hazard and stay quiet on the blessed alternatives.
+"""
+
+import pathlib
+import textwrap
+
+from repro.analysis import lint_source, lint_paths
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def findings(snippet):
+    return lint_source(textwrap.dedent(snippet), filename="probe.py")
+
+
+def codes(snippet):
+    return findings(snippet).codes()
+
+
+class TestDiscoveryTreeClean:
+    def test_no_hazards_in_discovery_sources(self):
+        diags = lint_paths([REPO / "src" / "repro" / "discovery"])
+        assert not diags, "\n".join(d.render() for d in diags)
+
+    def test_no_hazards_in_analysis_sources(self):
+        diags = lint_paths([REPO / "src" / "repro" / "analysis"])
+        assert not diags, "\n".join(d.render() for d in diags)
+
+
+class TestDet001UnseededRandom:
+    def test_unseeded_constructor_flagged(self):
+        assert codes("import random\nr = random.Random()\n") == ["DET001"]
+
+    def test_seeded_constructor_ok(self):
+        assert codes("import random\nr = random.Random(1997)\n") == []
+
+    def test_aliased_import(self):
+        assert codes("import random as rnd\nr = rnd.Random()\n") == ["DET001"]
+
+
+class TestDet002GlobalRng:
+    def test_module_level_call_flagged(self):
+        assert codes("import random\nx = random.choice([1, 2])\n") == ["DET002"]
+
+    def test_from_import_flagged(self):
+        assert codes("from random import shuffle\nshuffle([1])\n") == ["DET002"]
+
+    def test_instance_method_ok(self):
+        snippet = """
+            import random
+            rng = random.Random(7)
+            x = rng.choice([1, 2])
+        """
+        assert codes(snippet) == []
+
+
+class TestDet003WallClock:
+    def test_time_time_flagged(self):
+        assert codes("import time\nt = time.time()\n") == ["DET003"]
+
+    def test_datetime_now_flagged(self):
+        assert codes("import datetime\nd = datetime.datetime.now()\n") == ["DET003"]
+
+    def test_perf_counter_ok(self):
+        assert codes("import time\nt = time.perf_counter()\n") == []
+
+    def test_monotonic_ok(self):
+        assert codes("import time\nt = time.monotonic()\n") == []
+
+
+class TestDet004SetIteration:
+    def test_for_over_set_literal(self):
+        assert codes("for x in {1, 2, 3}:\n    print(x)\n") == ["DET004"]
+
+    def test_for_over_set_variable(self):
+        snippet = """
+            def f(items):
+                seen = set(items)
+                for x in seen:
+                    emit(x)
+        """
+        assert codes(snippet) == ["DET004"]
+
+    def test_comprehension_over_set_call(self):
+        assert codes("out = [x for x in set(items)]\n") == ["DET004"]
+
+    def test_list_of_set(self):
+        assert codes("out = list({1, 2})\n") == ["DET004"]
+
+    def test_join_of_set(self):
+        assert codes("out = ','.join({'a', 'b'})\n") == ["DET004"]
+
+    def test_sorted_set_ok(self):
+        assert codes("for x in sorted({3, 1}):\n    print(x)\n") == []
+
+    def test_order_insensitive_consumer_ok(self):
+        assert codes("ok = any(x > 2 for x in {1, 2, 3})\n") == []
+
+    def test_set_comprehension_output_ok(self):
+        # Feeding a set from an unordered source is fine; only ordered
+        # consumption of a set is a hazard.
+        assert codes("out = {x + 1 for x in {1, 2}}\n") == []
+
+    def test_set_method_result_flagged(self):
+        snippet = """
+            def f(a, b):
+                for x in set(a).union(b):
+                    emit(x)
+        """
+        assert codes(snippet) == ["DET004"]
+
+    def test_reassignment_clears_tracking(self):
+        snippet = """
+            def f(items):
+                xs = set(items)
+                xs = sorted(xs)
+                for x in xs:
+                    emit(x)
+        """
+        assert codes(snippet) == []
+
+
+class TestSuppression:
+    def test_blanket_waiver(self):
+        snippet = "for x in {1, 2}:  # detlint: ok\n    print(x)\n"
+        assert codes(snippet) == []
+
+    def test_scoped_waiver_matches(self):
+        snippet = "for x in {1, 2}:  # detlint: ok[DET004]\n    print(x)\n"
+        assert codes(snippet) == []
+
+    def test_scoped_waiver_for_other_code_does_not_match(self):
+        snippet = "for x in {1, 2}:  # detlint: ok[DET001]\n    print(x)\n"
+        assert codes(snippet) == ["DET004"]
+
+
+class TestMechanics:
+    def test_line_numbers_reported(self):
+        diags = findings("import time\n\n\nt = time.time()\n")
+        assert [d.line for d in diags] == [4]
+        assert all(d.where == "probe.py" for d in diags)
+
+    def test_syntax_error_is_a_warning_not_a_crash(self):
+        diags = findings("def broken(:\n")
+        assert len(diags) == 1
+        assert diags.errors == []
+
+    def test_lint_paths_accepts_single_file(self, tmp_path):
+        bad = tmp_path / "mod.py"
+        bad.write_text("import random\nrandom.seed(0)\n")
+        assert lint_paths([bad]).codes() == ["DET002"]

@@ -1,0 +1,102 @@
+"""speclint over the six real discovered descriptions.
+
+The acceptance bar: every spec the discovery unit actually produces
+lints with ZERO errors.  Warnings are allowed but pinned, so a change
+that introduces new noise (or silently fixes a known ambiguity) shows
+up here.
+"""
+
+import json
+
+from repro.analysis import lint_spec
+from repro.analysis.formats import render
+from tests.discovery.conftest import TARGETS, discovery_report
+
+
+class TestRealSpecsClean:
+    def test_zero_errors(self, report):
+        diags = lint_spec(report.spec)
+        assert diags.errors == [], "\n".join(d.render() for d in diags.errors)
+
+    def test_known_warning_profile(self):
+        """The only warnings across all six targets are the genuine MIPS
+        cost ties (register rule vs unrestricted immediate rule)."""
+        expected = {
+            "x86": [],
+            "mips": ["SPEC033"],
+            "sparc": [],
+            "alpha": [],
+            "vax": [],
+            "m68k": [],
+        }
+        for target in TARGETS:
+            diags = lint_spec(discovery_report(target).spec)
+            assert diags.codes() == expected[target], target
+
+
+class TestDriverWiring:
+    def test_lint_phase_runs(self, report):
+        assert report.diagnostics is not None
+        assert "spec lint" in [t.name for t in report.timings]
+
+    def test_diagnostics_attached_to_spec(self, report):
+        assert report.spec.diagnostics == report.diagnostics.to_dicts()
+
+    def test_summary_carries_lint_counts(self, report):
+        summary = report.summary()
+        assert summary["lint_errors"] == 0
+        assert summary["lint_warnings"] == len(report.diagnostics.warnings)
+
+
+class TestSpecSummary:
+    def test_addressing_modes_and_diagnostics_sections(self, report):
+        summary = report.spec.summary()
+        assert "addressing_modes" in summary
+        assert "imm_ranges" in summary
+        diag = summary["diagnostics"]
+        assert diag["counts"].get("error", 0) == 0
+        assert diag["entries"] == report.spec.diagnostics
+        json.dumps(summary)  # everything must be JSON-serialisable
+
+    def test_probed_imm_ranges_recorded(self):
+        """Targets with a range-restricted immediate rule expose the
+        probed per-instruction range in the spec table."""
+        restricted = [
+            target
+            for target in TARGETS
+            if any(
+                rule.imm_range is not None
+                for rule in discovery_report(target).spec.imm_rules.values()
+            )
+        ]
+        assert restricted, "no target discovered a restricted immediate rule"
+        for target in restricted:
+            spec = discovery_report(target).spec
+            assert spec.imm_ranges, target
+            for (mnemonic, operand), (lo, hi) in spec.imm_ranges.items():
+                assert isinstance(mnemonic, str) and isinstance(operand, int)
+                assert lo <= hi
+
+    def test_chain_rule_modes_declared(self, report):
+        """Every addressing mode a chain rule mentions has declared
+        semantics (the gap speclint's SPEC043 exists to catch)."""
+        import re
+
+        spec = report.spec
+        for chain in spec.chain_rules:
+            for mode in re.findall(r"AddrMode\[([^\]]+)\]", chain):
+                assert mode in spec.addressing_modes, (report.target, mode)
+
+
+class TestRenderFormats:
+    def test_text_json_sarif(self, report):
+        diags = lint_spec(report.spec)
+        text = render(diags, "text")
+        assert "finding" in text
+        payload = json.loads(render(diags, "json"))
+        assert payload["counts"]["error"] == 0
+        sarif = json.loads(render(diags, "sarif"))
+        assert sarif["version"] == "2.1.0"
+        rules = sarif["runs"][0]["tool"]["driver"]["rules"]
+        assert any(rule["id"] == "SPEC001" for rule in rules)
+        assert len(sarif["runs"][0]["results"]) == len(diags)

@@ -2,7 +2,6 @@
 
 from repro.machines.machine import RemoteMachine
 from repro.discovery.driver import ArchitectureDiscovery
-from tests.discovery.conftest import discovery_report
 
 
 def test_same_seed_gives_identical_description():

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.discovery import values as mc
 from repro.discovery.generator import BINARY_OPS, BINARY_SHAPES
 from repro.discovery.samples import make_init_source, make_main_source
-from tests.discovery.conftest import discovery_report, sample_named
+from tests.discovery.conftest import sample_named
 
 
 class TestSampleSet:

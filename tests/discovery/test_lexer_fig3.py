@@ -10,7 +10,7 @@ import pytest
 from repro.discovery.asmmodel import DMem
 from repro.discovery.lexer import find_delimiters
 from repro.errors import DiscoveryError
-from tests.discovery.conftest import discovery_report, sample_named
+from tests.discovery.conftest import sample_named
 
 
 def test_vax_add_region_is_the_single_addl3(vax_report):

@@ -1,6 +1,5 @@
 """E5 (paper Figure 5): the six mutations and the variant discipline."""
 
-import pytest
 
 from repro.discovery import mutation as mut
 from repro.discovery.asmmodel import DImm, DInstr, DMem, DReg

@@ -7,7 +7,7 @@ def/use computation of Figure 9 -- each on the architecture the paper
 used to illustrate it.
 """
 
-from tests.discovery.conftest import discovery_report, sample_named
+from tests.discovery.conftest import sample_named
 
 
 class TestFig4Irregularities:

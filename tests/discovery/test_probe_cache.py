@@ -14,13 +14,11 @@ verb, probe content), so
 """
 
 import dataclasses
-import pathlib
 
-import pytest
 
 from repro.discovery.cache import CachingMachine, ProbeCache, target_fingerprint
 from repro.discovery.driver import ArchitectureDiscovery
-from repro.machines.machine import RemoteMachine, Toolchain
+from repro.machines.machine import RemoteMachine
 
 
 def test_fingerprints_isolate_architectures(tmp_path):

@@ -7,10 +7,8 @@ immediate CONDITION, and the `.mul` software-multiplication rule with
 its implicit %o0/%o1 arguments.
 """
 
-import pytest
 
 from repro.discovery.asmmodel import DReg, Slot
-from tests.discovery.conftest import discovery_report
 
 
 class TestFig15Sparc:

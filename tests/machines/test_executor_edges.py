@@ -1,6 +1,5 @@
 """Executor edge cases: delay-slot interplay, VAX frames, m68k link/unlk."""
 
-import pytest
 
 from repro.machines.machine import RemoteMachine
 

@@ -43,6 +43,57 @@ class TestCli:
             main(["discover", "pdp11"])
 
 
+class TestLintCli:
+    def test_lint_target_clean(self, capsys):
+        assert main(["lint", "x86"]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_lint_warnings_gate(self, capsys):
+        # The real MIPS description carries SPEC033 warnings: visible,
+        # non-fatal by default, fatal under --fail-on warning.
+        assert main(["lint", "mips"]) == 0
+        assert "SPEC033" in capsys.readouterr().out
+        assert main(["lint", "mips", "--fail-on", "warning"]) == 1
+
+    def test_lint_json_format(self, capsys):
+        assert main(["lint", "mips", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 0
+        assert all(f["code"].startswith("SPEC") for f in payload["findings"])
+
+    def test_lint_source_sarif_to_file(self, tmp_path, capsys):
+        bad = tmp_path / "probe.py"
+        bad.write_text("import time\nstamp = time.time()\n")
+        out_file = tmp_path / "lint.sarif"
+        status = main(
+            [
+                "lint",
+                "--source",
+                str(bad),
+                "--format",
+                "sarif",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert status == 1  # DET003 is an error
+        sarif = json.loads(out_file.read_text())
+        results = sarif["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["DET003"]
+        region = results[0]["locations"][0]["physicalLocation"]
+        assert region["region"]["startLine"] == 2
+
+    def test_lint_fail_on_never(self, tmp_path):
+        bad = tmp_path / "probe.py"
+        bad.write_text("import random\nrandom.shuffle([])\n")
+        assert main(["lint", "--source", str(bad), "--fail-on", "never"]) == 0
+
+    def test_lint_rejects_bad_format(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "x86", "--format", "xml"])
+
+
 class TestReporting:
     @pytest.fixture(scope="class")
     def artifacts(self, tmp_path_factory):
@@ -77,3 +128,14 @@ class TestReporting:
         text = (directory / "mips.syntax.txt").read_text()
         assert "comment character" in text
         assert "$sp" in text
+
+    def test_lint_artifacts_written(self, artifacts):
+        directory, written = artifacts
+        lint_path = directory / "mips.lint.txt"
+        assert lint_path in written
+        assert "SPEC033" in lint_path.read_text()
+        summary = json.loads((directory / "mips.summary.json").read_text())
+        assert summary["lint_errors"] == 0
+        diagnostics = summary["spec"]["diagnostics"]
+        assert diagnostics["counts"].get("warning", 0) >= 1
+        assert all(e["code"] == "SPEC033" for e in diagnostics["entries"])
