@@ -1,40 +1,5 @@
-"""Machine-readable benchmark artifacts.
+"""Back-compat shim: the emit logic lives in :mod:`benchmarks._emit`."""
 
-Every bench module's headline numbers land in
-``benchmarks/results/BENCH_<module>.json`` (one file per module, one
-key per test), so EXPERIMENTS.md tables and CI artifact uploads read
-structured data instead of scraping pytest output.  Files are merged
-key-wise: re-running one parametrization updates only its entry.
-"""
+from benchmarks._emit import RESULTS_DIR, jsonable as _jsonable, record
 
-from __future__ import annotations
-
-import json
-import pathlib
-
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
-
-
-def record(module, payload):
-    """Merge *payload* (a dict of test-name -> numbers) into the
-    module's BENCH json; returns the path written."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"BENCH_{module}.json"
-    existing = {}
-    if path.exists():
-        try:
-            existing = json.loads(path.read_text())
-        except ValueError:
-            existing = {}  # a torn previous write; start fresh
-    existing.update(payload)
-    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
-    return path
-
-
-def _jsonable(value):
-    """Best-effort coercion for extra_info payloads."""
-    try:
-        json.dumps(value)
-        return value
-    except (TypeError, ValueError):
-        return repr(value)
+__all__ = ["RESULTS_DIR", "_jsonable", "record"]

@@ -7,7 +7,7 @@ phase.
 
 import pytest
 
-from benchmarks import benchjson
+from benchmarks import _emit
 
 from repro.machines.machine import RemoteMachine
 from repro.discovery import probe
@@ -30,13 +30,13 @@ def benchmark(benchmark, request):
     if module.startswith("bench_"):
         module = module[len("bench_"):]
     payload = {
-        key: benchjson._jsonable(value)
+        key: _emit.jsonable(value)
         for key, value in dict(benchmark.extra_info).items()
     }
     stats = getattr(benchmark, "stats", None)
     if stats is not None:
         payload["seconds_mean"] = round(stats.stats.mean, 4)
-    benchjson.record(module, {request.node.name: payload})
+    _emit.record(module, {request.node.name: payload})
 
 _REPORTS = {}
 _FRONTS = {}

@@ -2,7 +2,8 @@
 
     python -m repro discover <target> [--out DIR] [--seed N]
                              [--flaky RATE] [--fault-seed N] [--max-retries N]
-                             [--workers N] [--cache-dir PATH] [--no-cache]
+                             [--workers N] [--extract-procs N]
+                             [--cache-dir PATH] [--no-cache]
                              [--latency SECONDS]
     python -m repro retarget <target>... --program FILE.a
     python -m repro run <target> --program FILE.a
@@ -17,10 +18,13 @@ unreliable network/toolchain (the deployment reality the resilience
 layer exists for): a seeded fraction of remote interactions drop, crash,
 time out, or return corrupted output.  ``--workers`` fans the
 per-sample probes over that many concurrent target connections (the
-result is identical for any worker count); ``--cache-dir`` memoises
-every probe in a persistent content-addressed cache so a repeat run
-touches the target zero times; ``--latency`` simulates the per-verb
-round-trip cost that makes both of those worth having.
+result is identical for any worker count); ``--extract-procs`` fans the
+CPU-bound graph-matching and reverse-interpretation phases over that
+many worker *processes* (again bit-for-bit identical for any count);
+``--cache-dir`` memoises every probe in a persistent content-addressed
+cache so a repeat run touches the target zero times; ``--latency``
+simulates the per-verb round-trip cost that makes all of those worth
+having.
 """
 
 from __future__ import annotations
@@ -74,6 +78,7 @@ def _cmd_discover(args):
             resilience=_resilience_config(args),
             workers=args.workers,
             cache=cache,
+            extract_procs=args.extract_procs,
         ).run()
     except DiscoveryInterrupted as exc:
         print(f"discovery interrupted during '{exc.phase}': {exc.cause}", file=sys.stderr)
@@ -215,6 +220,14 @@ def main(argv=None):
         default=None,
         metavar="N",
         help="concurrent target connections (default: $REPRO_WORKERS or 1)",
+    )
+    p_discover.add_argument(
+        "--extract-procs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the CPU-bound extraction phases "
+        "(default: $REPRO_EXTRACT_PROCS or 1)",
     )
     p_discover.add_argument(
         "--cache-dir",

@@ -606,7 +606,8 @@ def _slot_names(instrs):
 
 
 def _cost(rule):
-    return getattr(rule, "cost_steps", None) or len(rule.instrs)
+    base = getattr(rule, "cost_steps", None) or len(rule.instrs)
+    return base + getattr(rule, "cost_bias", 0)
 
 
 def _template_shape(rule):

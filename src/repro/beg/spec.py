@@ -38,6 +38,10 @@ class OpRule:
     #: slot name -> registers the assembler accepts there (register
     #: classes, probed; empty dict means unconstrained)
     slot_classes: dict = field(default_factory=dict)
+    #: deterministic cost-tie-break penalty (see synthesize._break_cost_ties):
+    #: added to the rendered COST so equal-cost register/immediate rules for
+    #: the same operator order reproducibly instead of tying
+    cost_bias: int = 0
 
     def slots_used(self):
         names = set()
@@ -85,6 +89,9 @@ class MachineSpec:
     #: speclint findings recorded against this description (dicts in
     #: Diagnostic.to_dict() form; filled by the driver's lint phase)
     diagnostics: list = field(default_factory=list)
+    #: per-phase wall/CPU seconds of the discovery run that produced
+    #: this description (measurement only -- never part of render_beg)
+    phase_timings: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
 
@@ -131,6 +138,7 @@ class MachineSpec:
             lo, hi = rule.imm_range
             lines.append(f"  CONDITION {{ (b.val >= {lo}) AND (b.val <= {hi}) }};")
         cost = getattr(rule, "cost_steps", None) or len(rule.instrs)
+        cost += getattr(rule, "cost_bias", 0)
         lines.append(f"  COST {cost};")
         lines.append("  EMIT {")
         for instr in rule.instrs:
@@ -174,4 +182,5 @@ class MachineSpec:
                 "counts": by_severity,
                 "entries": list(self.diagnostics),
             },
+            "phase_timings": dict(self.phase_timings),
         }

@@ -44,16 +44,14 @@ from repro.discovery.addresses import discover_address_map
 from repro.discovery.branches import BranchAnalysis
 from repro.discovery.cache import ProbeCache, make_caching
 from repro.discovery.calling import CallAnalysis
-from repro.discovery.dfg import build_dfg
 from repro.discovery.enquire import enquire
+from repro.discovery.extract_pool import ExtractionEngine
 from repro.discovery.frames import discover_frame, discover_idioms
 from repro.discovery.generator import SampleGenerator
-from repro.discovery.graphmatch import match_binary
 from repro.discovery.lexer import extract_region
 from repro.discovery.mutation import MutationEngine
 from repro.discovery.preprocess import Preprocessor
 from repro.discovery.resilience import ResilienceConfig, make_resilient
-from repro.discovery.reverse_interp import ReverseInterpreter
 from repro.discovery.scheduler import ProbeScheduler, TargetConnectionPool
 from repro.discovery.syntax import DiscoveredSyntax
 from repro.discovery.synthesize import Synthesizer
@@ -66,7 +64,8 @@ _QUARANTINE_ERRORS = (DiscoveryError, TargetError)
 @dataclass
 class PhaseTiming:
     name: str
-    seconds: float
+    seconds: float  # wall clock
+    cpu_seconds: float = 0.0  # parent-process CPU (time.process_time)
 
 
 @dataclass
@@ -92,6 +91,18 @@ class DiscoveryReport:
     scheduler_stats: object = None  # scheduler.SchedulerStats
     cache_stats: object = None  # cache.CacheStats, when caching
     diagnostics: object = None  # analysis.DiagnosticSet from the lint phase
+    extraction_stats: object = None  # extract_pool.ExtractionStats
+
+    @property
+    def phase_timings(self):
+        """Per-phase wall and parent-CPU seconds, in phase order."""
+        return {
+            t.name: {
+                "wall_s": round(t.seconds, 4),
+                "cpu_s": round(t.cpu_seconds, 4),
+            }
+            for t in self.timings
+        }
 
     def summary(self):
         """The headline numbers.  Every field is guarded: a report from
@@ -138,6 +149,16 @@ class DiscoveryReport:
             out["cache_hit_rate"] = round(self.cache_stats.hit_rate, 4)
             out["cache_evictions"] = self.cache_stats.evictions
             out["cache_corrupt_entries"] = self.cache_stats.corrupt_entries
+        if self.extraction_stats is not None:
+            out["extract_procs"] = self.extraction_stats.procs
+            out["extract_shards"] = self.extraction_stats.shards
+            out["extract_dispatched_shards"] = self.extraction_stats.dispatched_shards
+            out["hypothesis_memo_hits"] = self.extraction_stats.memo_hits
+            out["hypothesis_memo_hit_rate"] = round(
+                self.extraction_stats.memo_hit_rate, 4
+            )
+            out["ri_budget_spent"] = self.extraction_stats.budget_spent
+            out["ri_budget_unspent"] = self.extraction_stats.budget_unspent
         if self.quarantined:
             out["coverage"] = (
                 f"degraded: {usable}/{total} samples analysed, "
@@ -155,7 +176,10 @@ class DiscoveryReport:
             lines.append(f"  {key:26s}: {value}")
         lines.append("  phase timings:")
         for timing in self.timings:
-            lines.append(f"    {timing.name:24s}: {timing.seconds:.2f}s")
+            lines.append(
+                f"    {timing.name:24s}: {timing.seconds:.2f}s wall, "
+                f"{timing.cpu_seconds:.2f}s cpu"
+            )
         if self.quarantined:
             lines.append("  quarantined samples:")
             for entry in self.quarantined:
@@ -231,6 +255,8 @@ class ArchitectureDiscovery:
         resilience=None,
         workers=None,
         cache=None,
+        extract_procs=None,
+        extract_memo=None,
     ):
         if resilience is False:  # escape hatch: measure the raw machine
             self.resilience = None
@@ -251,6 +277,11 @@ class ArchitectureDiscovery:
         pool_size = self.workers + 1 if self.workers > 1 else 1
         self.pool, self._pool_note = TargetConnectionPool.open(self.machine, pool_size)
         self.scheduler = ProbeScheduler(self.pool, self.workers)
+        if extract_procs is None:
+            extract_procs = int(os.environ.get("REPRO_EXTRACT_PROCS", "1"))
+        if extract_memo is None:
+            extract_memo = os.environ.get("REPRO_EXTRACT_MEMO", "1") != "0"
+        self.extractor = ExtractionEngine(procs=extract_procs, memo=extract_memo)
         self.seed = seed
         self.ri_budget = ri_budget
         self.use_likelihood = use_likelihood
@@ -299,6 +330,7 @@ class ArchitectureDiscovery:
                 completed.append(name)
         finally:
             self.scheduler.close()
+            self.extractor.close()
             if self.cache is not None:
                 self.cache.close()
 
@@ -306,6 +338,8 @@ class ArchitectureDiscovery:
         return report
 
     def _finalise(self, report):
+        if report.spec is not None:
+            report.spec.phase_timings = report.phase_timings
         report.machine_stats = self.pool.aggregate_machine_stats()
         report.retry_stats = self.pool.aggregate_retry_stats()
         report.fault_stats = self.pool.aggregate_fault_stats()
@@ -405,27 +439,29 @@ class ArchitectureDiscovery:
         report.addr_map = discover_address_map(report.corpus)
 
     def _phase_graphmatch(self, report, state):
-        roles = {}
-        for sample in report.corpus.usable_samples():
-            if sample.kind in ("binary", "unary", "literal", "copy") and getattr(
-                sample, "info", None
-            ):
-                graph = build_dfg(sample, report.addr_map)
-                matched = match_binary(sample, graph)
-                for index, role in matched.roles.items():
-                    roles[(sample.name, index)] = role
-        state["graph_roles"] = roles
-
-    def _phase_reverse_interp(self, report, state):
-        interpreter = ReverseInterpreter(
+        # The engine installs the worker context here -- after mutation
+        # analysis fully annotated the samples, before the first fan-out
+        # -- so forked workers inherit the preprocessed corpus.
+        self.extractor.prepare(
             report.corpus,
             report.addr_map,
             report.enquire.word_bits,
-            graph_roles=state.get("graph_roles", {}),
-            budget=self.ri_budget,
             use_likelihood=self.use_likelihood,
         )
-        report.extraction = interpreter.extract()
+        state["graph_roles"] = self.extractor.graph_roles()
+
+    def _phase_reverse_interp(self, report, state):
+        if not self.extractor._prepared:  # resumed past graph matching
+            self.extractor.prepare(
+                report.corpus,
+                report.addr_map,
+                report.enquire.word_bits,
+                use_likelihood=self.use_likelihood,
+            )
+        report.extraction = self.extractor.extract(
+            state.get("graph_roles", {}), self.ri_budget
+        )
+        report.extraction_stats = self.extractor.stats
 
     def _phase_branches(self, report, state):
         report.branch_model = BranchAnalysis(
@@ -486,11 +522,16 @@ class _Phase:
 
     def __enter__(self):
         self.start = time.perf_counter()
+        self.cpu_start = time.process_time()
         return self
 
     def __exit__(self, exc_type, exc, tb):
         if exc_type is None:
             self.report.timings.append(
-                PhaseTiming(self.name, time.perf_counter() - self.start)
+                PhaseTiming(
+                    self.name,
+                    time.perf_counter() - self.start,
+                    time.process_time() - self.cpu_start,
+                )
             )
         return False

@@ -1,0 +1,769 @@
+"""Process-parallel extraction engine.
+
+The probe scheduler (PR 2) overlaps remote round-trips, but the two
+CPU-bound phases -- graph matching and reverse interpretation -- are
+serialised by the GIL.  This module fans them out over a
+``ProcessPoolExecutor`` while keeping the discovered description
+**bit-for-bit identical for any process count**:
+
+- The corpus is partitioned into *shards* by ``opkey`` connectivity
+  (union-find): two samples land in the same shard iff they share an
+  extraction unknown, so shards never interact through the semantics
+  table and can be solved in any order, in any process.
+- Small shards are dispatched whole to worker processes; a shard too
+  large to dispatch (most targets compile every sample through the same
+  load/store moves, producing one giant component) is solved in the
+  parent, with its inner best-first search parallelised instead: the
+  joint-assignment *enumeration order* is a pure function of the
+  candidate scores (see ``VectorEnumerator``), so waves of candidate
+  vectors are checked concurrently and the committed assignment is the
+  first passing vector in enumeration order -- exactly the one a
+  sequential search finds.
+- Results merge in shard-index order, followed by a cross-shard
+  revision fixpoint: any sample that failed inside its shard but whose
+  unknowns meanwhile appeared in the merged table (impossible for
+  connectivity shards, by construction, but the seam is what makes the
+  merge correct under any future partition policy) is re-solved with
+  revision against the merged table.
+- The global ``ri_budget`` is split across shards proportionally to
+  shard size (remainder to the earliest shards); the fixpoint draws
+  from the unspent remainder, and the split is accounted in the stats.
+- ``hypotheses()`` candidate lists are memoised per-process by
+  instruction signature shape (:func:`hypothesis_shape_key`) and, for
+  parent-solved shards, speculatively enumerated on the pool a bounded
+  lookahead ahead of their solve (:class:`HypothesisPrefetcher`).
+
+At ``procs=1`` every stage runs inline through the same code paths, so
+the single-process run is the plain in-process extraction it always
+was -- identical output, same budget policy.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.discovery.dfg import build_dfg
+from repro.discovery.graphmatch import match_binary
+from repro.discovery.reverse_interp import (
+    BudgetPool,
+    ExtractionResult,
+    HypothesisMemo,
+    InlineEvaluator,
+    ReverseInterpreter,
+    _is_degenerate,
+    first_passing_index,
+    hypotheses,
+    hypothesis_shape_key,
+    opkey,
+    sample_keys,
+)
+
+#: shards at most this large are dispatched whole to a worker; larger
+#: ones are solved in the parent with wave-parallel candidate checking
+DISPATCH_MAX_SHARD = 12
+
+#: vectors checked inline before a solve escalates to pooled waves --
+#: most solves find their assignment within the first few candidates,
+#: and an IPC round-trip for those would cost more than it saves
+INLINE_WAVE = 32
+
+#: per-worker chunk of candidate vectors in one pooled wave
+EVAL_CHUNK = 96
+
+
+# -- statistics ---------------------------------------------------------------
+
+
+@dataclass
+class ExtractionStats:
+    """Counters for the process-parallel extraction of one target."""
+
+    procs: int = 1
+    memo_enabled: bool = True
+    shards: int = 0
+    shard_sizes: list = field(default_factory=list)
+    dispatched_shards: int = 0
+    inline_shards: int = 0
+    graph_tasks: int = 0
+    hyp_tasks: int = 0
+    eval_tasks: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    budget_total: int = 0
+    budget_spent: int = 0
+    fixpoint_retries: int = 0
+
+    @property
+    def budget_unspent(self):
+        return max(0, self.budget_total - self.budget_spent)
+
+    @property
+    def memo_hit_rate(self):
+        looked = self.memo_hits + self.memo_misses
+        return self.memo_hits / looked if looked else 0.0
+
+    def snapshot(self):
+        return {
+            "procs": self.procs,
+            "memo_enabled": self.memo_enabled,
+            "shards": self.shards,
+            "shard_sizes": list(self.shard_sizes),
+            "dispatched_shards": self.dispatched_shards,
+            "inline_shards": self.inline_shards,
+            "graph_tasks": self.graph_tasks,
+            "hyp_tasks": self.hyp_tasks,
+            "eval_tasks": self.eval_tasks,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_hit_rate": round(self.memo_hit_rate, 4),
+            "budget_total": self.budget_total,
+            "budget_spent": self.budget_spent,
+            "budget_unspent": self.budget_unspent,
+            "fixpoint_retries": self.fixpoint_retries,
+        }
+
+
+# -- sharding -----------------------------------------------------------------
+
+
+def partition_shards(samples):
+    """Group samples into opkey-connected components (union-find).
+
+    Samples sharing any extraction unknown must see each other's
+    commitments and revisions, so they stay together; disjoint groups
+    are independent by construction.  Shards are returned ordered by
+    their first sample's corpus position -- a pure function of the
+    corpus, identical for every process count."""
+    parent = {}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    roots = []
+    for position, sample in enumerate(samples):
+        mine = ("sample", position)
+        parent[mine] = mine
+        roots.append(mine)
+        for key in sample_keys(sample):
+            kid = ("key", key)
+            if kid not in parent:
+                parent[kid] = kid
+            union(mine, kid)
+
+    grouped = {}
+    first_position = {}
+    for position, sample in enumerate(samples):
+        root = find(roots[position])
+        if root not in grouped:
+            grouped[root] = []
+            first_position[root] = position
+        grouped[root].append(sample)
+    return [grouped[root] for root in sorted(grouped, key=first_position.get)]
+
+
+def split_budget(total, sizes):
+    """Deterministic proportional split of the global interpretation
+    budget: ``total * size_i // sum(sizes)`` each, with the rounding
+    remainder handed out one unit at a time to the earliest shards."""
+    weight = sum(sizes)
+    if not sizes or weight == 0:
+        return []
+    shares = [total * size // weight for size in sizes]
+    remainder = total - sum(shares)
+    for i in range(len(shares)):
+        if remainder <= 0:
+            break
+        shares[i] += 1
+        remainder -= 1
+    return shares
+
+
+# -- worker-process plumbing --------------------------------------------------
+
+
+@dataclass
+class WorkerContext:
+    """Everything the pure per-shard computations need, installed once
+    per process (inherited over ``fork``, or unpickled by the spawn
+    initializer).  Graph roles are *not* frozen here -- they are
+    computed after the pool may already exist -- so tasks that need
+    them carry them in their payload."""
+
+    samples_by_name: dict
+    addr_map: object
+    bits: int
+    use_likelihood: bool = True
+    memo_enabled: bool = True
+
+
+@dataclass
+class ShardOutcome:
+    """A solved shard, reduced to picklable payloads."""
+
+    index: int
+    semantics: list = field(default_factory=list)  # OpSemantics payloads
+    solved: list = field(default_factory=list)
+    failed: list = field(default_factory=list)
+    tried: int = 0
+    spent: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+
+
+class _SampleSet:
+    """The slice of the corpus a shard solver sees (duck-types the
+    ``Corpus`` surface the reverse interpreter uses)."""
+
+    def __init__(self, samples):
+        self.samples = list(samples)
+
+    def usable_samples(self, kind=None):
+        return [
+            s
+            for s in self.samples
+            if s.usable and (kind is None or s.kind == kind)
+        ]
+
+
+_CTX = None  # WorkerContext, in workers and in the parent (inline path)
+_MEMO = None  # per-process HypothesisMemo, when enabled
+
+
+def _install_context(ctx):
+    global _CTX, _MEMO
+    _CTX = ctx
+    _MEMO = HypothesisMemo(ctx.bits) if ctx.memo_enabled else None
+
+
+def _install_context_bytes(payload):
+    _install_context(pickle.loads(payload))
+
+
+def _memo_counters():
+    if _MEMO is None:
+        return 0, 0
+    return _MEMO.hits, _MEMO.misses
+
+
+def _task_graph_roles(names):
+    """Graph-match a batch of samples; pure per sample."""
+    ctx = _CTX
+    out = []
+    for name in names:
+        sample = ctx.samples_by_name[name]
+        graph = build_dfg(sample, ctx.addr_map)
+        matched = match_binary(sample, graph)
+        for index, role in matched.roles.items():
+            out.append((name, index, role))
+    return out
+
+
+def _task_hypotheses(jobs):
+    """Enumerate candidate lists for a batch of (sample, index, role)
+    jobs; returns (shape_key, candidates) pairs for the parent memo."""
+    ctx = _CTX
+    out = []
+    for name, index, role in jobs:
+        sample = ctx.samples_by_name[name]
+        if _MEMO is not None:
+            cands = _MEMO.lookup(sample, index, role)
+            key = _MEMO.key(sample, index, role)
+        else:
+            key = hypothesis_shape_key(sample, index, role, ctx.bits)
+            cands = hypotheses(sample, index, role)
+        out.append((key, cands))
+    return out
+
+
+def _task_first_passing(name, sem, extra_effects, solved_names, assignments):
+    """Check one chunk of candidate vectors; returns the chunk-local
+    index of the first passing assignment, or None."""
+    ctx = _CTX
+    sample = ctx.samples_by_name[name]
+    solved = [ctx.samples_by_name[n] for n in solved_names]
+    return first_passing_index(
+        sample, sem, extra_effects, solved, assignments, ctx.addr_map, ctx.bits
+    )
+
+
+def _run_shard(index, names, budget, graph_roles, memo, evaluator, prefetch=None):
+    """Solve one shard with a plain in-process reverse interpreter;
+    the single implementation runs identically in the parent (inline
+    shards, ``procs=1``) and inside a dispatched worker."""
+    ctx = _CTX
+    samples = [ctx.samples_by_name[n] for n in names]
+    pool = BudgetPool(budget)
+    interpreter = ReverseInterpreter(
+        _SampleSet(samples),
+        ctx.addr_map,
+        ctx.bits,
+        graph_roles=graph_roles,
+        budget=budget,
+        use_likelihood=ctx.use_likelihood,
+        memo=memo,
+        evaluator=evaluator,
+        budget_pool=pool,
+        samples=samples,
+        discard_failed=False,
+        prefetch=prefetch,
+    )
+    result = interpreter.extract()
+    return result, pool
+
+
+def _task_solve_shard(index, names, budget, graph_roles):
+    hits0, misses0 = _memo_counters()
+    result, pool = _run_shard(index, names, budget, graph_roles, _MEMO, None)
+    hits1, misses1 = _memo_counters()
+    return ShardOutcome(
+        index=index,
+        semantics=[result.semantics[k] for k in result.semantics],
+        solved=result.solved,
+        failed=result.failed,
+        tried=result.interpretations_tried,
+        spent=pool.spent,
+        memo_hits=hits1 - hits0,
+        memo_misses=misses1 - misses0,
+    )
+
+
+# -- the pool and the pooled evaluator ----------------------------------------
+
+
+class ExtractPool:
+    """A lazily created process pool.  Prefers the ``fork`` start
+    method so workers inherit the installed :class:`WorkerContext` (and
+    the warm memo) without pickling; falls back to an explicit spawn
+    initializer elsewhere."""
+
+    def __init__(self, procs):
+        self.procs = procs
+        self._executor = None
+
+    def _ensure(self):
+        if self._executor is None:
+            methods = multiprocessing.get_all_start_methods()
+            if "fork" in methods:
+                mp_ctx = multiprocessing.get_context("fork")
+                initializer, initargs = None, ()
+            else:
+                mp_ctx = multiprocessing.get_context()
+                initializer = _install_context_bytes
+                initargs = (pickle.dumps(_CTX),)
+            # Workers only run pure functions over the inherited
+            # context; the interpreter's fork-with-threads caution does
+            # not apply to them.
+            warnings.filterwarnings(
+                "ignore",
+                message=".*use of fork\\(\\) may lead to deadlocks.*",
+                category=DeprecationWarning,
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.procs,
+                mp_context=mp_ctx,
+                initializer=initializer,
+                initargs=initargs,
+            )
+        return self._executor
+
+    def submit(self, fn, *args):
+        return self._ensure().submit(fn, *args)
+
+    def run_ordered(self, fn, payloads):
+        """Submit one task per payload; results in payload order."""
+        futures = [self.submit(fn, *payload) for payload in payloads]
+        return [future.result() for future in futures]
+
+    def close(self):
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def _split_even(items, parts):
+    """Contiguous split into at most *parts* non-empty batches."""
+    if not items:
+        return []
+    parts = max(1, min(parts, len(items)))
+    size, extra = divmod(len(items), parts)
+    batches, start = [], 0
+    for i in range(parts):
+        end = start + size + (1 if i < extra else 0)
+        batches.append(items[start:end])
+        start = end
+    return batches
+
+
+class PooledEvaluator:
+    """Checks candidate-vector waves across the process pool.  The
+    first wave of a solve stays inline (most solves finish there); a
+    solve that outlives it escalates to ``procs``-wide waves.  Venue
+    never affects the outcome: the winner is the first passing vector
+    in enumeration order, wherever each chunk was checked."""
+
+    def __init__(self, pool, addr_map, bits, stats, chunk=None, inline_wave=None):
+        self.pool = pool
+        self.addr_map = addr_map
+        self.bits = bits
+        self.stats = stats
+        self.chunk = EVAL_CHUNK if chunk is None else chunk
+        self.inline_wave = INLINE_WAVE if inline_wave is None else inline_wave
+
+    def next_wave(self, consumed):
+        if consumed < self.inline_wave:
+            return self.inline_wave
+        return self.chunk * self.pool.procs
+
+    def first_passing(self, sample, sem, extra_effects, solved_samples, assignments):
+        if len(assignments) <= self.inline_wave:
+            return first_passing_index(
+                sample, sem, extra_effects, solved_samples, assignments,
+                self.addr_map, self.bits,
+            )
+        solved_names = [s.name for s in solved_samples]
+        chunks = _split_even(assignments, self.pool.procs)
+        futures = [
+            self.pool.submit(
+                _task_first_passing,
+                sample.name, sem, extra_effects, solved_names, chunk,
+            )
+            for chunk in chunks
+        ]
+        self.stats.eval_tasks += len(futures)
+        offset = 0
+        hit = None
+        # Every chunk is awaited (cheap: they run concurrently), and the
+        # earliest chunk with a pass wins -- later chunks' passes are
+        # vectors the sequential search would never have reached.
+        for chunk, future in zip(chunks, futures):
+            local = future.result()
+            if hit is None and local is not None:
+                hit = offset + local
+            offset += len(chunk)
+        return hit
+
+
+# -- speculative hypothesis prefetch ------------------------------------------
+
+#: how many upcoming pending samples to enumerate hypotheses for ahead
+#: of their solve; bounds the speculative waste when an earlier solve
+#: commits a key the lookahead already enqueued work for
+PREFETCH_WINDOW = 8
+
+
+def _first_instance_of(sample, key):
+    for i, instr in enumerate(sample.region):
+        if instr.mnemonic and opkey(instr) == key:
+            return i
+    return None
+
+
+class _PrefetchedMemo:
+    """The memo facade the inline shard solver sees: hits serve from the
+    shared table, misses first collect an in-flight prefetch future, and
+    only then fall back to inline enumeration.  Every path returns the
+    exact :func:`hypotheses` result, so this is invisible to the search."""
+
+    def __init__(self, memo, prefetcher):
+        self.base = memo
+        self.prefetcher = prefetcher
+
+    def key(self, sample, index, role):
+        return self.base.key(sample, index, role)
+
+    def lookup(self, sample, index, role):
+        key = self.base.key(sample, index, role)
+        cached = self.base.table.get(key)
+        if cached is not None:
+            self.base.hits += 1
+            return cached
+        cands = self.prefetcher.resolve(key)
+        if cands is not None:
+            # The enumeration work happened, in a worker: a miss.
+            self.base.seed(key, cands)
+            return cands
+        return self.base.lookup(sample, index, role)
+
+    def seed(self, key, cands):
+        self.base.seed(key, cands)
+
+
+class HypothesisPrefetcher:
+    """Bounded-lookahead speculative hypothesis enumeration.
+
+    Before each solve, the interpreter hands over the upcoming pending
+    samples; shapes for their still-unknown keys are enqueued on the
+    pool so the lists are (being) computed by the time their solve asks.
+    The issued set is a pure function of the deterministic solve order
+    and semantics state -- and prefetching only ever warms the memo --
+    so results are bit-for-bit those of the serial path."""
+
+    window = PREFETCH_WINDOW
+
+    def __init__(self, pool, memo, graph_roles, use_likelihood, bits, stats):
+        self.pool = pool
+        self.base = memo
+        self.memo = _PrefetchedMemo(memo, self)
+        self.graph_roles = graph_roles
+        self.use_likelihood = use_likelihood
+        self.bits = bits
+        self.stats = stats
+        self.futures = {}
+
+    def __call__(self, upcoming, result, revision=False):
+        for sample in upcoming[: self.window]:
+            for key in sample_keys(sample):
+                if key in result.semantics and not revision:
+                    continue
+                index = _first_instance_of(sample, key)
+                if index is None:
+                    continue
+                role = (
+                    self.graph_roles.get((sample.name, index))
+                    if self.use_likelihood
+                    else None
+                )
+                shape = hypothesis_shape_key(sample, index, role, self.bits)
+                if shape in self.base.table or shape in self.futures:
+                    continue
+                self.futures[shape] = self.pool.submit(
+                    _task_hypotheses, [(sample.name, index, role)]
+                )
+                self.stats.hyp_tasks += 1
+
+    def resolve(self, shape):
+        future = self.futures.pop(shape, None)
+        if future is None:
+            return None
+        [(_shape, cands)] = future.result()
+        return cands
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+class ExtractionEngine:
+    """Orchestrates the two CPU-bound phases for one discovery run."""
+
+    RI_KINDS = ReverseInterpreter.RI_KINDS
+
+    def __init__(self, procs=1, memo=True):
+        self.procs = max(1, int(procs))
+        self.memo_enabled = bool(memo)
+        self.pool = ExtractPool(self.procs) if self.procs > 1 else None
+        self.stats = ExtractionStats(procs=self.procs, memo_enabled=self.memo_enabled)
+        self._fixpoint_spent = 0
+        self._prepared = False
+        self.addr_map = None
+        self.bits = None
+        self.use_likelihood = True
+        self._samples = []
+
+    # -- lifecycle -----------------------------------------------------
+
+    def prepare(self, corpus, addr_map, bits, use_likelihood=True):
+        """Install the worker context.  Must happen before the first
+        fan-out so forked workers inherit the fully preprocessed
+        samples; graph roles, computed later, travel per task."""
+        self.addr_map = addr_map
+        self.bits = bits
+        self.use_likelihood = use_likelihood
+        self._samples = [
+            s
+            for s in corpus.usable_samples()
+            if s.kind in self.RI_KINDS and getattr(s, "info", None) is not None
+        ]
+        _install_context(
+            WorkerContext(
+                samples_by_name={s.name: s for s in self._samples},
+                addr_map=addr_map,
+                bits=bits,
+                use_likelihood=use_likelihood,
+                memo_enabled=self.memo_enabled,
+            )
+        )
+        self._prepared = True
+
+    def close(self):
+        if self.pool is not None:
+            self.pool.close()
+
+    # -- graph matching ------------------------------------------------
+
+    def graph_roles(self):
+        """Per-instruction roles for every eligible sample, fanned over
+        the pool when ``procs > 1``; merge order (sample order, then
+        match order) is venue-independent."""
+        names = [s.name for s in self._samples]
+        batches = _split_even(names, self.procs)
+        if self.pool is not None and len(batches) > 1:
+            results = self.pool.run_ordered(
+                _task_graph_roles, [(batch,) for batch in batches]
+            )
+        else:
+            results = [_task_graph_roles(batch) for batch in batches]
+        self.stats.graph_tasks += len(batches)
+        roles = {}
+        for result in results:
+            for name, index, role in result:
+                roles[(name, index)] = role
+        return roles
+
+    # -- reverse interpretation ----------------------------------------
+
+    def extract(self, graph_roles, budget, ri_samples=None):
+        """Shard, solve, merge, fixpoint.  Returns the merged
+        :class:`ExtractionResult`; counters land in ``self.stats``."""
+        samples = list(ri_samples) if ri_samples is not None else list(self._samples)
+        by_name = {s.name: s for s in samples}
+        shards = partition_shards(samples)
+        sizes = [len(shard) for shard in shards]
+        shares = split_budget(budget, sizes)
+        self.stats.shards = len(shards)
+        self.stats.shard_sizes = sizes
+        self.stats.budget_total = budget
+
+        memo = _MEMO  # the parent-process memo (None when disabled)
+        dispatch, inline = [], []
+        for index, (shard, share) in enumerate(zip(shards, shares)):
+            names = [s.name for s in shard]
+            member = set(names)
+            roles = {
+                (name, i): role
+                for (name, i), role in graph_roles.items()
+                if name in member
+            }
+            task = (index, names, share, roles)
+            if self.pool is not None and len(names) <= DISPATCH_MAX_SHARD:
+                dispatch.append(task)
+            else:
+                inline.append(task)
+        self.stats.dispatched_shards = len(dispatch)
+        self.stats.inline_shards = len(inline)
+
+        futures = {}
+        if dispatch:
+            for task in dispatch:
+                futures[task[0]] = self.pool.submit(_task_solve_shard, *task)
+
+        outcomes = {}
+        for index, names, share, roles in inline:
+            evaluator = self._parent_evaluator()
+            prefetch = self._make_prefetcher(memo, roles)
+            hits0, misses0 = _memo_counters()
+            result, shard_pool = _run_shard(
+                index, names, share, roles,
+                prefetch.memo if prefetch is not None else memo,
+                evaluator,
+                prefetch,
+            )
+            hits1, misses1 = _memo_counters()
+            outcomes[index] = ShardOutcome(
+                index=index,
+                semantics=[result.semantics[k] for k in result.semantics],
+                solved=result.solved,
+                failed=result.failed,
+                tried=result.interpretations_tried,
+                spent=shard_pool.spent,
+                memo_hits=hits1 - hits0,
+                memo_misses=misses1 - misses0,
+            )
+        for index, future in futures.items():
+            outcomes[index] = future.result()
+
+        # Deterministic ordered merge: shard-index order, regardless of
+        # completion order or venue.
+        merged = ExtractionResult()
+        spent = 0
+        for index in sorted(outcomes):
+            outcome = outcomes[index]
+            for op_sem in outcome.semantics:
+                if op_sem.key not in merged.semantics:
+                    merged.semantics[op_sem.key] = op_sem
+            merged.solved.extend(outcome.solved)
+            merged.interpretations_tried += outcome.tried
+            spent += outcome.spent
+            self.stats.memo_hits += outcome.memo_hits
+            self.stats.memo_misses += outcome.memo_misses
+
+        self._fixpoint(merged, outcomes, by_name, budget - spent, graph_roles, memo)
+        self.stats.budget_spent = spent + self._fixpoint_spent
+        return merged
+
+    def _parent_evaluator(self):
+        if self.pool is not None:
+            return PooledEvaluator(self.pool, self.addr_map, self.bits, self.stats)
+        return InlineEvaluator(self.addr_map, self.bits)
+
+    def _make_prefetcher(self, memo, roles):
+        if self.pool is None or memo is None:
+            return None
+        return HypothesisPrefetcher(
+            self.pool, memo, roles, self.use_likelihood, self.bits, self.stats
+        )
+
+    def _fixpoint(self, merged, outcomes, by_name, leftover, graph_roles, memo):
+        """Cross-shard revision fixpoint.  A sample that failed inside
+        its shard is retried against the merged table iff the merge
+        brought in keys its shard could not see -- never the case for
+        connectivity shards, whose keys are closed by construction, but
+        this is the seam that keeps the merge correct under any
+        partition policy."""
+        self._fixpoint_spent = 0
+        fix_pool = BudgetPool(max(0, leftover))
+        retry, final_failed = [], []
+        for index in sorted(outcomes):
+            outcome = outcomes[index]
+            shard_keys = {op_sem.key for op_sem in outcome.semantics}
+            for name in outcome.failed:
+                sample = by_name[name]
+                foreign = [
+                    k
+                    for k in sample_keys(sample)
+                    if k in merged.semantics and k not in shard_keys
+                ]
+                (retry if foreign else final_failed).append(sample)
+        if retry:
+            interpreter = ReverseInterpreter(
+                _SampleSet(list(by_name.values())),
+                self.addr_map,
+                self.bits,
+                graph_roles=graph_roles,
+                budget=fix_pool.total,
+                use_likelihood=self.use_likelihood,
+                memo=memo,
+                evaluator=self._parent_evaluator(),
+                budget_pool=fix_pool,
+                discard_failed=False,
+            )
+            progress = True
+            while retry and progress:
+                progress = False
+                still = []
+                for sample in retry:
+                    if not _is_degenerate(sample) and interpreter._solve_with_revision(
+                        sample, merged
+                    ):
+                        merged.solved.append(sample.name)
+                        self.stats.fixpoint_retries += 1
+                        progress = True
+                    else:
+                        still.append(sample)
+                retry = still
+            final_failed.extend(retry)
+            self._fixpoint_spent = fix_pool.spent
+        for sample in final_failed:
+            merged.failed.append(sample.name)
+            sample.discard("reverse interpretation found no consistent semantics")

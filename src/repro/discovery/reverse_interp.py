@@ -15,6 +15,7 @@ the final check requires ``M[@L1.a]`` to equal the printed result.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 
@@ -367,6 +368,187 @@ def hypotheses(sample, index, role, max_candidates=MAX_CANDIDATES):
     return out
 
 
+# -- hypothesis memoization ---------------------------------------------------
+
+
+def hypothesis_shape_key(sample, index, role, bits=None):
+    """Everything :func:`hypotheses` actually depends on, as a hashable
+    key: candidate effects reference operands by *position* (never by
+    register name or immediate value), so two instruction instances with
+    the same signature, visible def/use kinds, implicit-register sets
+    and likelihood inputs (sample operator/kind, graph role) enumerate
+    identical candidate lists."""
+    info = sample.info
+    instr = sample.region[index]
+    visible = tuple(
+        (k, info.visible_kinds.get((index, k), "use"))
+        for k, op in enumerate(instr.operands)
+        if isinstance(op, DReg)
+    )
+    return (
+        opkey(instr),
+        role,
+        visible,
+        tuple(sorted(info.implicit_in.get(index, ()))),
+        tuple(sorted(info.implicit_out.get(index, ()))),
+        tuple(sorted(info.implicit_maybe.get(index, ()))[:MAX_MAYBE_REGS]),
+        sample.op,
+        sample.kind,
+        bits,
+    )
+
+
+class HypothesisMemo:
+    """Per-process cache of :func:`hypotheses` results keyed by
+    instruction signature shape.  Purely an accelerator: a lookup
+    computes exactly what the direct call would, so the extraction is
+    bit-for-bit identical with the memo on or off -- only the hit/miss
+    counters change."""
+
+    def __init__(self, bits=None):
+        self.bits = bits
+        self.table = {}
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, sample, index, role):
+        return hypothesis_shape_key(sample, index, role, self.bits)
+
+    def lookup(self, sample, index, role):
+        key = self.key(sample, index, role)
+        cached = self.table.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        cands = hypotheses(sample, index, role)
+        self.table[key] = cands
+        return cands
+
+    def seed(self, key, cands):
+        """Install a candidate list computed elsewhere (a precompute
+        worker); counts as a miss -- the enumeration work happened."""
+        if key not in self.table:
+            self.misses += 1
+            self.table[key] = cands
+
+
+# -- deterministic joint-assignment enumeration -------------------------------
+
+
+class VectorEnumerator:
+    """Lazy best-first enumeration of joint candidate vectors (one
+    position per unknown key), highest total likelihood first.
+
+    The visit order is a pure function of the candidate scores --
+    evaluation outcomes never feed back into it -- which is what lets a
+    *wave* of vectors be checked in parallel (or out of order) without
+    changing which assignment the search commits: the winner is always
+    the first passing vector in this enumeration order, exactly the one
+    the sequential search would have stopped at."""
+
+    def __init__(self, lists):
+        self.lists = lists
+        start = (0,) * len(lists)
+        self._heap = [(-self._total(start), start)]
+        self._seen = {start}
+
+    def _total(self, vector):
+        return sum(self.lists[i][pos][0] for i, pos in enumerate(vector))
+
+    def take(self, count):
+        """The next up-to-*count* vectors in search order."""
+        out = []
+        while self._heap and len(out) < count:
+            _neg, vector = heapq.heappop(self._heap)
+            out.append(vector)
+            for i in range(len(self.lists)):
+                if vector[i] + 1 < len(self.lists[i]):
+                    successor = vector[:i] + (vector[i] + 1,) + vector[i + 1:]
+                    if successor not in self._seen:
+                        self._seen.add(successor)
+                        heapq.heappush(
+                            self._heap, (-self._total(successor), successor)
+                        )
+        return out
+
+
+def sample_keys(sample):
+    """The sample's extraction unknowns, in region order."""
+    keys = []
+    for instr in sample.region:
+        if instr.mnemonic:
+            key = opkey(instr)
+            if key not in keys:
+                keys.append(key)
+    return keys
+
+
+def first_passing_index(sample, sem, extra_effects, solved_samples, assignments,
+                        addr_map, bits):
+    """Index of the first assignment under which the sample interprets
+    correctly *and* every already-solved sample still validates, or
+    None.  Pure in all arguments -- the parallel evaluator ships this
+    exact computation to worker processes."""
+    for j, assignment in enumerate(assignments):
+        trial = dict(sem)
+        trial.update(assignment)
+        if not check_sample(sample, trial, addr_map, bits):
+            continue
+        # A revised semantics must still explain every solved sample.
+        trial.update({k: v for k, v in extra_effects.items() if k not in trial})
+        ok = True
+        for solved_sample in solved_samples:
+            solved_keys = set(sample_keys(solved_sample))
+            if not solved_keys <= set(trial):
+                continue
+            if not check_sample(solved_sample, trial, addr_map, bits):
+                ok = False
+                break
+        if ok:
+            return j
+    return None
+
+
+class InlineEvaluator:
+    """Evaluates assignment waves in the calling process.  ``wave`` only
+    bounds how many vectors are enumerated ahead of evaluation; the
+    first passing vector wins regardless, so any wave size yields the
+    same extraction."""
+
+    wave = 32
+
+    def __init__(self, addr_map, bits):
+        self.addr_map = addr_map
+        self.bits = bits
+
+    def next_wave(self, consumed):
+        return self.wave
+
+    def first_passing(self, sample, sem, extra_effects, solved_samples, assignments):
+        return first_passing_index(
+            sample, sem, extra_effects, solved_samples, assignments,
+            self.addr_map, self.bits,
+        )
+
+
+class BudgetPool:
+    """A shared interpretation budget.  Each ``_solve`` draws what it
+    consumes from the pool instead of getting a fresh per-call budget,
+    so a global ``ri_budget`` can be split across shards with the
+    unspent remainder accounted for."""
+
+    def __init__(self, total):
+        self.total = total
+        self.spent = 0
+
+    def remaining(self):
+        return max(0, self.total - self.spent)
+
+    def spend(self, count):
+        self.spent += count
+
+
 # -- the extractor driver -------------------------------------------------------
 
 
@@ -400,21 +582,34 @@ class ReverseInterpreter:
     RI_KINDS = ("binary", "unary", "literal", "copy")
 
     def __init__(self, corpus, addr_map, word_bits, graph_roles=None, budget=60000,
-                 use_likelihood=True):
+                 use_likelihood=True, memo=None, evaluator=None, budget_pool=None,
+                 samples=None, discard_failed=True, prefetch=None):
         self.corpus = corpus
         self.addr_map = addr_map
         self.bits = word_bits
         self.graph_roles = graph_roles or {}
         self.budget = budget
         self.use_likelihood = use_likelihood
+        self.memo = memo
+        self.evaluator = evaluator or InlineEvaluator(addr_map, word_bits)
+        self.budget_pool = budget_pool
+        self.samples = samples
+        self.discard_failed = discard_failed
+        #: optional hook called before each solve with (upcoming pending
+        #: samples, result) -- lets a parallel engine warm the memo with
+        #: hypothesis lists the next few solves will ask for
+        self.prefetch = prefetch
 
-    def extract(self):
-        result = ExtractionResult()
-        samples = [
+    def ri_samples(self):
+        return [
             s
             for s in self.corpus.usable_samples()
             if s.kind in self.RI_KINDS and getattr(s, "info", None) is not None
         ]
+
+    def extract(self):
+        result = ExtractionResult()
+        samples = list(self.samples) if self.samples is not None else self.ri_samples()
         pending = list(samples)
         progress = True
         while pending and progress:
@@ -430,14 +625,20 @@ class ReverseInterpreter:
                 )
             )
             still = []
-            for sample in pending:
+            for pos, sample in enumerate(pending):
+                if self.prefetch is not None:
+                    self.prefetch(pending[pos:], result, revision=False)
                 if self._solve(sample, result):
                     result.solved.append(sample.name)
                     progress = True
                 else:
                     still.append(sample)
             pending = still
-        for sample in pending:
+        for pos, sample in enumerate(pending):
+            if self.prefetch is not None:
+                # Revision re-enumerates every key of the sample, known
+                # or not -- warm them all.
+                self.prefetch(pending[pos:], result, revision=True)
             if not _is_degenerate(sample) and self._solve_with_revision(sample, result):
                 result.solved.append(sample.name)
             else:
@@ -445,7 +646,10 @@ class ReverseInterpreter:
                 # table; a failing one is simply discarded (the paper
                 # discards samples its interpreter cannot finish).
                 result.failed.append(sample.name)
-                sample.discard("reverse interpretation found no consistent semantics")
+                if self.discard_failed:
+                    sample.discard(
+                        "reverse interpretation found no consistent semantics"
+                    )
         return result
 
     def _solve_with_revision(self, sample, result):
@@ -465,13 +669,21 @@ class ReverseInterpreter:
     # ------------------------------------------------------------------
 
     def _keys(self, sample):
-        keys = []
-        for instr in sample.region:
-            if instr.mnemonic:
-                key = opkey(instr)
-                if key not in keys:
-                    keys.append(key)
-        return keys
+        return sample_keys(sample)
+
+    def _hypotheses(self, sample, index, role):
+        if self.memo is None:
+            return hypotheses(sample, index, role)
+        return self.memo.lookup(sample, index, role)
+
+    def _budget_cap(self):
+        if self.budget_pool is not None:
+            return self.budget_pool.remaining()
+        return self.budget
+
+    def _spend(self, count):
+        if self.budget_pool is not None:
+            self.budget_pool.spend(count)
 
     def _unknown_count(self, sample, result):
         return sum(1 for k in self._keys(sample) if k not in result.semantics)
@@ -502,7 +714,7 @@ class ReverseInterpreter:
         for key in unknown:
             index = self._first_instance(sample, key)
             role = self.graph_roles.get((sample.name, index))
-            cands = hypotheses(sample, index, role if self.use_likelihood else None)
+            cands = self._hypotheses(sample, index, role if self.use_likelihood else None)
             if not self.use_likelihood:
                 # Ablation mode: blind shortest-first enumeration.
                 cands = [
@@ -513,68 +725,58 @@ class ReverseInterpreter:
                 ]
             candidate_lists.append((key, index, cands))
 
-        budget = [self.budget]
-        tries_log = {}
+        lists = [options for _k, _i, options in candidate_lists]
+        if any(not options for options in lists):
+            return False
+
         solved_samples = []
         if validate_solved:
             by_name = {s.name: s for s in self.corpus.samples}
             solved_samples = [by_name[name] for name in dict.fromkeys(result.solved)]
-
-        def leaf_ok(assignment):
-            trial = dict(sem)
-            trial.update(assignment)
-            if not check_sample(sample, trial, self.addr_map, self.bits):
-                return False
-            # A revised semantics must still explain every solved sample.
-            trial.update(
-                {k: v.effects for k, v in result.semantics.items() if k not in trial}
-            )
-            for solved_sample in solved_samples:
-                solved_keys = set(self._keys(solved_sample))
-                if not solved_keys <= set(trial):
-                    continue
-                if not check_sample(solved_sample, trial, self.addr_map, self.bits):
-                    return False
-            return True
+        extra_effects = {k: v.effects for k, v in result.semantics.items()}
 
         # Probabilistic best-first search (paper section 5.2.2): joint
         # assignments are tried in order of decreasing total likelihood,
         # so one instruction's plausible-but-wrong candidate cannot lock
-        # out a globally better interpretation.
-        import heapq
-
-        lists = [options for _k, _i, options in candidate_lists]
-        if any(not options for options in lists):
-            return False
-        start = (0,) * len(lists)
-
-        def total_score(vector):
-            return sum(lists[i][pos][0] for i, pos in enumerate(vector))
-
-        heap = [(-total_score(start), start)]
-        seen = {start}
+        # out a globally better interpretation.  Vectors are drawn from
+        # the enumerator in waves and checked by the evaluator (inline,
+        # or fanned over worker processes); the committed assignment is
+        # the first passing vector in enumeration order either way, and
+        # only the vectors up to that winner count against the budget.
+        enumerator = VectorEnumerator(lists)
+        budget_cap = self._budget_cap()
+        consumed = 0
         assignment = None
-        while heap and budget[0] > 0:
-            _neg, vector = heapq.heappop(heap)
-            budget[0] -= 1
-            result.interpretations_tried += 1
-            trial_assignment = {
-                candidate_lists[i][0]: lists[i][pos][1]
-                for i, pos in enumerate(vector)
-            }
-            if leaf_ok(trial_assignment):
-                assignment = trial_assignment
-                for i, pos in enumerate(vector):
-                    tries_log[candidate_lists[i][0]] = pos + 1
+        winning_vector = None
+        while consumed < budget_cap:
+            wave = max(1, self.evaluator.next_wave(consumed))
+            vectors = enumerator.take(min(wave, budget_cap - consumed))
+            if not vectors:
                 break
-            for i in range(len(lists)):
-                if vector[i] + 1 < len(lists[i]):
-                    successor = vector[:i] + (vector[i] + 1,) + vector[i + 1:]
-                    if successor not in seen:
-                        seen.add(successor)
-                        heapq.heappush(heap, (-total_score(successor), successor))
+            assignments = [
+                {
+                    candidate_lists[i][0]: lists[i][pos][1]
+                    for i, pos in enumerate(vector)
+                }
+                for vector in vectors
+            ]
+            hit = self.evaluator.first_passing(
+                sample, sem, extra_effects, solved_samples, assignments
+            )
+            if hit is None:
+                consumed += len(vectors)
+                continue
+            consumed += hit + 1
+            winning_vector = vectors[hit]
+            assignment = assignments[hit]
+            break
+        result.interpretations_tried += consumed
+        self._spend(consumed)
         if assignment is None:
             return False
+        tries_log = {
+            candidate_lists[i][0]: pos + 1 for i, pos in enumerate(winning_vector)
+        }
 
         for key, index, _options in candidate_lists:
             result.semantics[key] = OpSemantics(

@@ -73,10 +73,33 @@ class Synthesizer:
         spec.reg_move = [self.reg_move_template()]
         self._op_rules(spec)
         self._imm_rules(spec)
+        self._break_cost_ties(spec)
         self._chain_rules(spec)
         self._allocatable(spec)
         self._register_classes(spec)
         return spec
+
+    @staticmethod
+    def _break_cost_ties(spec):
+        """An operator with both a register rule and an *unrestricted*
+        immediate rule at equal cost leaves instruction selection
+        ambiguous (speclint SPEC033).  Break the tie with a documented
+        secondary key: the rule-table name.  ``"rules"`` sorts after
+        ``"imm_rules"``, so the register rule takes a ``cost_bias`` of
+        +1 and the immediate rule wins the tie reproducibly.  The bias
+        only affects the rendered COST (and the lint's cost model):
+        the code generator prefers the immediate rule for any in-range
+        constant operand regardless of cost, so emitted code is
+        unchanged."""
+        for ir_op in sorted(set(spec.rules) & set(spec.imm_rules)):
+            reg_rule = spec.rules[ir_op]
+            imm_rule = spec.imm_rules[ir_op]
+            if imm_rule.imm_range is not None:
+                continue
+            reg_cost = getattr(reg_rule, "cost_steps", None) or len(reg_rule.instrs)
+            imm_cost = getattr(imm_rule, "cost_steps", None) or len(imm_rule.instrs)
+            if reg_cost == imm_cost:
+                reg_rule.cost_bias = 1
 
     def _register_classes(self, spec):
         """Register classes for the branch rules and move templates,

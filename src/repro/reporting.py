@@ -64,6 +64,15 @@ def _scheduler_summary(report):
     }
 
 
+def _extraction_summary(report):
+    """Process-pool extraction counters: sharding shape, hypothesis-memo
+    effectiveness and the interpretation-budget split."""
+    stats = report.extraction_stats
+    if stats is None:
+        return None
+    return stats.snapshot()
+
+
 def _cache_summary(report):
     """Probe-cache counters; a warm rerun shows hits and zero remote
     compiles/executions in machine_stats."""
@@ -103,6 +112,7 @@ def write_report(report, directory):
     summary_path = out / f"{report.target}.summary.json"
     summary = dict(report.summary())
     summary["phases"] = {t.name: round(t.seconds, 4) for t in report.timings}
+    summary["phase_timings"] = report.phase_timings
     summary["spec"] = report.spec.summary()
     summary["resilience"] = _resilience_summary(report)
     scheduler = _scheduler_summary(report)
@@ -111,6 +121,9 @@ def write_report(report, directory):
     cache = _cache_summary(report)
     if cache is not None:
         summary["cache"] = cache
+    extraction = _extraction_summary(report)
+    if extraction is not None:
+        summary["extraction"] = extraction
     summary_path.write_text(json.dumps(summary, indent=2) + "\n")
     written.append(summary_path)
 

@@ -222,9 +222,21 @@ def test_every_code_exercised_somewhere(target):
 
 
 def test_mips_equal_cost_overlap_is_flagged():
-    """SPEC033 needs no seeded corruption: the real MIPS description has
-    register and unrestricted-immediate rules at equal cost."""
+    """The real MIPS description used to carry SPEC033 (register and
+    unrestricted-immediate rules at equal cost); the synthesiser now
+    breaks the tie with a +1 cost bias on the register rule.  Undoing
+    that bias must resurface the warning -- proving the lint still
+    detects the ambiguity and that the fix is exactly the bias."""
     from tests.discovery.conftest import discovery_report
 
-    diags = lint_spec(discovery_report("mips").spec)
-    assert "SPEC033" in diags.codes()
+    spec = corrupt_spec("mips")
+    undone = 0
+    for rule in spec.rules.values():
+        if getattr(rule, "cost_bias", 0):
+            rule.cost_bias = 0
+            undone += 1
+    assert undone, "expected the MIPS tie-break to have biased a rule"
+    assert "SPEC033" in lint_spec(spec).codes()
+
+    clean = lint_spec(discovery_report("mips").spec)
+    assert "SPEC033" not in clean.codes()

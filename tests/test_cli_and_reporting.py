@@ -49,18 +49,18 @@ class TestLintCli:
         out = capsys.readouterr().out
         assert "0 findings" in out
 
-    def test_lint_warnings_gate(self, capsys):
-        # The real MIPS description carries SPEC033 warnings: visible,
-        # non-fatal by default, fatal under --fail-on warning.
-        assert main(["lint", "mips"]) == 0
-        assert "SPEC033" in capsys.readouterr().out
-        assert main(["lint", "mips", "--fail-on", "warning"]) == 1
+    def test_lint_warning_clean_all_targets(self, capsys):
+        # Every discovered description lints clean, even under the
+        # strictest gate; the historical MIPS SPEC033 cost ties are
+        # resolved by the synthesiser's deterministic tie-break.
+        assert main(["lint", "mips", "--fail-on", "warning"]) == 0
+        assert "0 findings" in capsys.readouterr().out
 
     def test_lint_json_format(self, capsys):
         assert main(["lint", "mips", "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["counts"]["error"] == 0
-        assert all(f["code"].startswith("SPEC") for f in payload["findings"])
+        assert payload["findings"] == []
 
     def test_lint_source_sarif_to_file(self, tmp_path, capsys):
         bad = tmp_path / "probe.py"
@@ -133,9 +133,9 @@ class TestReporting:
         directory, written = artifacts
         lint_path = directory / "mips.lint.txt"
         assert lint_path in written
-        assert "SPEC033" in lint_path.read_text()
+        assert "0 findings" in lint_path.read_text()
         summary = json.loads((directory / "mips.summary.json").read_text())
         assert summary["lint_errors"] == 0
+        assert summary["lint_warnings"] == 0
         diagnostics = summary["spec"]["diagnostics"]
-        assert diagnostics["counts"].get("warning", 0) >= 1
-        assert all(e["code"] == "SPEC033" for e in diagnostics["entries"])
+        assert diagnostics["entries"] == []
