@@ -5,6 +5,8 @@
                              [--workers N] [--extract-procs N]
                              [--cache-dir PATH] [--no-cache]
                              [--latency SECONDS]
+                             [--run-dir DIR] [--checkpoint-every N]
+    python -m repro discover --resume RUNDIR [--workers N] [--extract-procs N]
     python -m repro retarget <target>... --program FILE.a
     python -m repro run <target> --program FILE.a
     python -m repro lint [<target>...] [--source PATH] [--format text|json|sarif]
@@ -25,6 +27,14 @@ many worker *processes* (again bit-for-bit identical for any count);
 cache so a repeat run touches the target zero times; ``--latency``
 simulates the per-verb round-trip cost that makes all of those worth
 having.
+
+``--run-dir`` makes the run crash-durable: every completed phase (and,
+inside the fan-out phases, every ``--checkpoint-every`` completed
+samples) commits an atomic checkpoint generation to the directory, and
+``--resume RUNDIR`` restarts a killed run from the newest valid one --
+producing a spec bit-for-bit identical to an uninterrupted run.
+``--crash-at``/``--crash-kill`` are the crash-injection harness the
+durability tests drive (see :mod:`repro.machines.crashes`).
 """
 
 from __future__ import annotations
@@ -64,29 +74,80 @@ def _resilience_config(args):
     )
 
 
+def _crash_plan(args):
+    if not getattr(args, "crash_at", None):
+        return None
+    from repro.machines.crashes import CrashPlan
+
+    return CrashPlan.parse(args.crash_at, kill=args.crash_kill)
+
+
 def _cmd_discover(args):
     from repro.discovery.driver import ArchitectureDiscovery, DiscoveryInterrupted
 
-    machine = _build_machine(args)
-    cache = None
-    if args.cache_dir and not args.no_cache:
-        cache = args.cache_dir
-    try:
-        report = ArchitectureDiscovery(
+    resume_checkpoint = None
+    if args.resume:
+        # Everything that shapes the discovered spec -- target, fault
+        # plan, seed, resilience knobs, checkpoint cadence -- comes from
+        # the run directory's manifest, so the resumed run is the same
+        # run.  Only venue knobs (workers, extract procs) may differ.
+        from repro.discovery.durable import DurableRun, machine_from_config
+
+        run = DurableRun.open(args.resume)
+        machine, resilience = machine_from_config(run.config)
+        resume_checkpoint, warnings = run.load_checkpoint()
+        for warning in warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        if resume_checkpoint is None:
+            print(
+                f"no loadable checkpoint in {args.resume}; starting from scratch",
+                file=sys.stderr,
+            )
+        discovery = ArchitectureDiscovery(
+            machine,
+            seed=run.config.get("seed", args.seed),
+            resilience=resilience,
+            workers=args.workers,
+            cache=run.config.get("cache_dir") if not args.no_cache else None,
+            extract_procs=args.extract_procs,
+            run_dir=run,
+            crash_plan=_crash_plan(args),
+            checkpoint_every=run.config.get("checkpoint_every"),
+        )
+    else:
+        if args.target is None:
+            print("discover: a target (or --resume RUNDIR) is required", file=sys.stderr)
+            return 2
+        machine = _build_machine(args)
+        cache = None
+        if args.cache_dir and not args.no_cache:
+            cache = args.cache_dir
+        discovery = ArchitectureDiscovery(
             machine,
             seed=args.seed,
             resilience=_resilience_config(args),
             workers=args.workers,
             cache=cache,
             extract_procs=args.extract_procs,
-        ).run()
+            run_dir=args.run_dir,
+            crash_plan=_crash_plan(args),
+            checkpoint_every=args.checkpoint_every,
+        )
+    try:
+        report = discovery.run(resume=resume_checkpoint)
     except DiscoveryInterrupted as exc:
         print(f"discovery interrupted during '{exc.phase}': {exc.cause}", file=sys.stderr)
         print(
             f"completed phases: {', '.join(exc.checkpoint.completed) or '(none)'}",
             file=sys.stderr,
         )
-        if args.max_retries == 0:
+        if exc.checkpoint_path is not None:
+            print(
+                f"checkpoint saved; resume with: "
+                f"repro discover --resume {exc.checkpoint_path}",
+                file=sys.stderr,
+            )
+        if getattr(args, "max_retries", None) == 0:
             print("hint: retries are disabled (--max-retries 0)", file=sys.stderr)
         return 1
     print(report.render_summary())
@@ -192,7 +253,7 @@ def main(argv=None):
     sub.add_parser("targets", help="list the simulated machines")
 
     p_discover = sub.add_parser("discover", help="run architecture discovery")
-    p_discover.add_argument("target", choices=target_names())
+    p_discover.add_argument("target", nargs="?", choices=target_names())
     p_discover.add_argument("--out", help="write artifacts to this directory")
     p_discover.add_argument("--seed", type=int, default=1997)
     p_discover.add_argument(
@@ -246,6 +307,40 @@ def main(argv=None):
         default=0.0,
         metavar="SECONDS",
         help="simulated per-verb target round-trip time",
+    )
+    p_discover.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="commit crash-durable checkpoints to this run directory",
+    )
+    p_discover.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUNDIR",
+        help="resume a killed run from its run directory "
+        "(target and fault plan come from the manifest)",
+    )
+    p_discover.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-sample completion records per durable commit in the "
+        "fan-out phases (default: $REPRO_CHECKPOINT_EVERY or 8)",
+    )
+    p_discover.add_argument(
+        "--crash-at",
+        default=None,
+        metavar="SPEC",
+        help="crash injection: before:<phase>, after:<phase>, or "
+        "sample:<phase>:<n> (underscores stand for spaces)",
+    )
+    p_discover.add_argument(
+        "--crash-kill",
+        action="store_true",
+        help="SIGKILL the process at the --crash-at point instead of "
+        "raising (a real unclean death, for the e2e tests)",
     )
 
     p_retarget = sub.add_parser(

@@ -20,6 +20,13 @@ and rejects the patterns outright:
   one) -- wrap the set in ``sorted(...)`` to fix the order.
   Order-insensitive consumers (``any``, ``all``, ``sum``, ``min``,
   ``max``, ``len``) are exempt.
+- **DET005** iteration over a dict whose *insertion order* came from
+  iterating an unordered set.  Python dicts iterate in insertion
+  order, so a dict filled inside a ``for`` loop over a bare set (or
+  built by a dict comprehension over one) merely launders the set's
+  hash order through a second container -- DET004 one step removed.
+  Sort the feeding iteration, or sort the dict's keys at the point of
+  use.
 
 A finding can be waived for one line with a trailing
 ``# detlint: ok`` or ``# detlint: ok[DET004]`` comment.
@@ -114,6 +121,12 @@ class _ModuleLinter(ast.NodeVisitor):
         self.name_aliases = {}
         #: per-function stack of {name} sets known to hold bare sets
         self.set_vars = [set()]
+        #: per-function stack of names known to hold dicts
+        self.dict_vars = [set()]
+        #: per-function stack of dict names whose insert order is set-fed
+        self.tainted_dicts = [set()]
+        #: nesting depth of for-loops iterating a bare set
+        self._set_loop_depth = 0
         #: ids of comprehensions fed to order-insensitive consumers
         self._exempt = set()
 
@@ -177,19 +190,39 @@ class _ModuleLinter(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node):
         self.set_vars.append(set())
+        self.dict_vars.append(set())
+        self.tainted_dicts.append(set())
         self.generic_visit(node)
         self.set_vars.pop()
+        self.dict_vars.pop()
+        self.tainted_dicts.pop()
 
     visit_AsyncFunctionDef = visit_FunctionDef
 
     def visit_Assign(self, node):
         is_set = self._is_bare_set(node.value)
+        is_dict = self._is_fresh_dict(node.value)
+        is_tainted = self._is_set_fed_dictcomp(node.value)
         for target in node.targets:
             if isinstance(target, ast.Name):
                 if is_set:
                     self.set_vars[-1].add(target.id)
                 else:
                     self.set_vars[-1].discard(target.id)
+                if is_dict or is_tainted:
+                    self.dict_vars[-1].add(target.id)
+                else:
+                    self.dict_vars[-1].discard(target.id)
+                if is_tainted:
+                    self.tainted_dicts[-1].add(target.id)
+                else:
+                    self.tainted_dicts[-1].discard(target.id)
+            elif isinstance(target, ast.Subscript) and self._set_loop_depth:
+                # d[x] = ... inside a for-loop over a bare set: d's
+                # insertion order now encodes the set's hash order.
+                base = target.value
+                if isinstance(base, ast.Name) and base.id in self.dict_vars[-1]:
+                    self.tainted_dicts[-1].add(base.id)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node):
@@ -242,7 +275,12 @@ class _ModuleLinter(ast.NodeVisitor):
 
     def visit_For(self, node):
         self._check_iteration(node.iter, node)
+        set_fed = self._is_bare_set(node.iter)
+        if set_fed:
+            self._set_loop_depth += 1
         self.generic_visit(node)
+        if set_fed:
+            self._set_loop_depth -= 1
 
     visit_AsyncFor = visit_For
 
@@ -269,6 +307,44 @@ class _ModuleLinter(ast.NodeVisitor):
                 "so emitted output cannot depend on hash order",
                 report_node,
             )
+        elif self._is_set_fed_dict(iter_node):
+            self.report(
+                "DET005",
+                "iteration over a dict whose inserts were fed by an "
+                "unordered set; insertion order launders the set's hash "
+                "order -- sort the feeding loop or the keys here",
+                report_node,
+            )
+
+    def _is_fresh_dict(self, node):
+        """Does this expression produce a new (order-clean) dict?"""
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call) and self._call_path(node.func) == "dict":
+            return True
+        return False
+
+    def _is_set_fed_dictcomp(self, node):
+        """A dict comprehension drawing its keys straight from a bare
+        set: the resulting dict's insertion order *is* the hash order."""
+        return isinstance(node, ast.DictComp) and any(
+            self._is_bare_set(gen.iter) for gen in node.generators
+        )
+
+    def _is_set_fed_dict(self, node):
+        """Is this a tainted dict, or a keys/values/items view of one?"""
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted_dicts[-1]
+        if isinstance(node, ast.DictComp):
+            return self._is_set_fed_dictcomp(node)
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("keys", "values", "items")
+            and not node.args
+        ):
+            return self._is_set_fed_dict(node.func.value)
+        return False
 
     def _is_bare_set(self, node):
         """Does this expression produce a set nothing has ordered?"""

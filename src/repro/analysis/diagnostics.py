@@ -45,6 +45,7 @@ CODES = {
     "DET002": ("error", "call through the global random module RNG"),
     "DET003": ("error", "wall-clock read in a probe path"),
     "DET004": ("error", "iteration over an unordered set"),
+    "DET005": ("error", "dict iteration whose insert order came from a set"),
 }
 
 

@@ -20,6 +20,17 @@ table -- a phase-level failure raises :class:`DiscoveryInterrupted`
 carrying a :class:`DiscoveryCheckpoint` that ``run(resume=...)`` picks
 up without redoing completed phases.
 
+Because the *discovery process itself* can also die (kill -9, OOM, a
+rebooted build host), the checkpoint is durable: pass ``run_dir=`` (CLI
+``--run-dir``) and every completed phase -- plus, inside the fan-out
+phases, every ``checkpoint_every`` completed samples -- commits an
+atomic, schema-versioned checkpoint generation to disk (see
+:mod:`~repro.discovery.durable`).  ``repro discover --resume RUNDIR``
+reloads the newest valid generation and produces a spec bit-for-bit
+identical to an uninterrupted run; a :class:`~repro.machines.crashes.
+CrashPlan` (``crash_plan=``) kills the driver at any phase or sample
+boundary to prove it.
+
 Because the target is *slow to reach* (round-trips dominate discovery
 cost), the per-sample work -- sample realisation, register probing,
 region extraction, mutation analysis, graph matching -- fans out over a
@@ -44,10 +55,17 @@ from repro.discovery.addresses import discover_address_map
 from repro.discovery.branches import BranchAnalysis
 from repro.discovery.cache import ProbeCache, make_caching
 from repro.discovery.calling import CallAnalysis
+from repro.discovery.durable import (
+    DurableRun,
+    PhaseProgress,
+    auto_run_directory,
+    chunked,
+    run_config,
+)
 from repro.discovery.enquire import enquire
 from repro.discovery.extract_pool import ExtractionEngine
 from repro.discovery.frames import discover_frame, discover_idioms
-from repro.discovery.generator import SampleGenerator
+from repro.discovery.generator import SampleGenerator, realise_sample
 from repro.discovery.lexer import extract_region
 from repro.discovery.mutation import MutationEngine
 from repro.discovery.preprocess import Preprocessor
@@ -208,13 +226,25 @@ class DiscoveryCheckpoint:
 
 class DiscoveryInterrupted(DiscoveryError):
     """A phase failed terminally; ``checkpoint`` resumes past the
-    completed prefix once the target recovers."""
+    completed prefix once the target recovers.
 
-    def __init__(self, phase, cause, checkpoint):
-        super().__init__(f"discovery interrupted during {phase!r}: {cause}")
+    The checkpoint is also persisted to ``checkpoint_path`` before the
+    exception is raised (the run's own ``--run-dir``, or a freshly
+    created fallback directory), so the caller cannot lose it by letting
+    the exception -- or the process -- die."""
+
+    def __init__(self, phase, cause, checkpoint, checkpoint_path=None):
+        message = f"discovery interrupted during {phase!r}: {cause}"
+        if checkpoint_path is not None:
+            message += (
+                f" [checkpoint saved to {checkpoint_path}; resume with:"
+                f" repro discover --resume {checkpoint_path}]"
+            )
+        super().__init__(message)
         self.phase = phase
         self.cause = cause
         self.checkpoint = checkpoint
+        self.checkpoint_path = checkpoint_path
 
 
 class ArchitectureDiscovery:
@@ -257,6 +287,9 @@ class ArchitectureDiscovery:
         cache=None,
         extract_procs=None,
         extract_memo=None,
+        run_dir=None,
+        crash_plan=None,
+        checkpoint_every=None,
     ):
         if resilience is False:  # escape hatch: measure the raw machine
             self.resilience = None
@@ -285,10 +318,28 @@ class ArchitectureDiscovery:
         self.seed = seed
         self.ri_budget = ri_budget
         self.use_likelihood = use_likelihood
+        # -- crash durability ------------------------------------------
+        # checkpoint_every: per-sample completion records per durable
+        # commit inside the fan-out phases (1 = exact sample boundary).
+        if checkpoint_every is None:
+            checkpoint_every = int(os.environ.get("REPRO_CHECKPOINT_EVERY", "8"))
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.crash_plan = crash_plan
+        if run_dir is None or isinstance(run_dir, DurableRun):
+            self.durable = run_dir
+        else:
+            self.durable = DurableRun.attach(run_dir, run_config(self))
+        # the live (report, completed, state) triple of the current run;
+        # _checkpoint() snapshots it for commits and interrupts
+        self._report = None
+        self._completed = None
+        self._state = None
 
     def run(self, resume=None):
-        """Run all phases; pass ``resume=interrupted.checkpoint`` to
-        continue a run cut short by :class:`DiscoveryInterrupted`."""
+        """Run all phases; pass ``resume=interrupted.checkpoint`` (or a
+        checkpoint loaded from a :class:`~repro.discovery.durable.
+        DurableRun`) to continue a run cut short by
+        :class:`DiscoveryInterrupted` or by process death."""
         if resume is not None:
             if resume.target != self.machine.target:
                 raise DiscoveryError(
@@ -296,17 +347,26 @@ class ArchitectureDiscovery:
                     f"machine is {self.machine.target!r}"
                 )
             report, completed, state = resume.report, list(resume.completed), resume.state
+            # A thawed checkpoint carries no live connection: rebind the
+            # corpus (and through it the mutation engine's forks) to this
+            # driver's freshly opened stack.  Assembled init objects
+            # belonged to the dead connection, so the cache starts empty.
+            if report.corpus is not None and report.corpus.machine is None:
+                report.corpus.machine = self.machine
+                report.corpus._init_cache = {}
         else:
             report = DiscoveryReport(target=self.machine.target)
             completed, state = [], {}
         if self._pool_note and self._pool_note not in report.notes:
             report.notes.append(self._pool_note)
+        self._report, self._completed, self._state = report, completed, state
         clock = _Clock(report)
 
         try:
             for name, method in self.PHASES:
                 if name in completed:
                     continue
+                self._crash_point("before", name)
                 try:
                     with clock(name):
                         getattr(self, method)(report, state)
@@ -320,14 +380,14 @@ class ArchitectureDiscovery:
                     state["scheduler"] = self.scheduler.stats.snapshot()
                     if self.cache is not None:
                         state["cache"] = self.cache.describe()
-                    checkpoint = DiscoveryCheckpoint(
-                        target=self.machine.target,
-                        completed=list(completed),
-                        report=report,
-                        state=state,
-                    )
-                    raise DiscoveryInterrupted(name, exc, checkpoint) from exc
+                    checkpoint = self._checkpoint()
+                    path = self._persist_interrupt(checkpoint)
+                    raise DiscoveryInterrupted(
+                        name, exc, checkpoint, checkpoint_path=path
+                    ) from exc
                 completed.append(name)
+                self._commit()
+                self._crash_point("after", name)
         finally:
             self.scheduler.close()
             self.extractor.close()
@@ -353,6 +413,56 @@ class ArchitectureDiscovery:
                 if s.discarded and s.discarded.startswith("quarantined")
             ]
 
+    # -- crash durability helpers -------------------------------------
+
+    def _checkpoint(self):
+        """Snapshot the live run into a resumable checkpoint."""
+        return DiscoveryCheckpoint(
+            target=self.machine.target,
+            completed=list(self._completed),
+            report=self._report,
+            state=self._state,
+        )
+
+    def _commit(self):
+        """Durably publish the current checkpoint (no-op without a run
+        directory)."""
+        if self.durable is not None:
+            self.durable.commit(self._checkpoint())
+
+    def _crash_point(self, kind, phase, index=None):
+        """A crash-injection boundary: the CrashPlan, when armed, dies
+        here -- strictly *after* the matching durable commit, so what
+        the harness tests is exactly what a real kill -9 leaves behind."""
+        if self.crash_plan is not None:
+            self.crash_plan.check(kind, phase, index)
+
+    def _persist_interrupt(self, checkpoint):
+        """Best-effort durable save when a phase fails terminally: into
+        the run's own directory, or a freshly created fallback one, so
+        the caller never needs to hold the in-memory checkpoint alive."""
+        try:
+            if self.durable is None:
+                self.durable = DurableRun.attach(
+                    auto_run_directory(self.machine.target), run_config(self)
+                )
+            self.durable.commit(checkpoint)
+            return str(self.durable.directory)
+        except (OSError, DiscoveryError):
+            return None  # the in-memory checkpoint still works
+
+    def _progress(self, phase):
+        """The per-sample completion records of one fan-out phase.
+        Each record commits a checkpoint generation and exposes a
+        ``sample`` crash boundary to the harness."""
+        store = self._state.setdefault("progress", {}).setdefault(phase, {})
+
+        def on_record(count):
+            self._commit()
+            self._crash_point("sample", phase, count)
+
+        return PhaseProgress(store, chunk=self.checkpoint_every, on_record=on_record)
+
     # -- quarantine helper --------------------------------------------
 
     @staticmethod
@@ -374,10 +484,28 @@ class ArchitectureDiscovery:
         report.probe_log = log
 
     def _phase_generate(self, report, state):
-        generator = SampleGenerator(self.machine, report.syntax, seed=self.seed)
-        report.corpus = generator.generate(
-            word_bits=report.enquire.word_bits, scheduler=self.scheduler
-        )
+        # Spec construction draws from the seeded rng strictly in order
+        # and is cheap, so it happens in one shot; realisation (one
+        # compile and one run per sample) fans out in completion-record
+        # chunks.  On mid-phase resume the corpus already exists and the
+        # unrealised suffix is exactly the samples still pending.
+        if report.corpus is None:
+            generator = SampleGenerator(self.machine, report.syntax, seed=self.seed)
+            report.corpus = generator.build_corpus(word_bits=report.enquire.word_bits)
+        corpus = report.corpus
+        progress = self._progress("sample generation")
+        pending = [
+            s
+            for s in corpus.samples
+            if s.expected_output is None and s.discarded is None
+        ]
+        for chunk in chunked(pending, progress.chunk):
+            self.scheduler.map_values(
+                lambda sample, conn: realise_sample(corpus.bind(conn), sample),
+                chunk,
+                phase="sample generation",
+            )
+            progress.record(progress.next_key(), [s.name for s in chunk])
 
     def _phase_registers(self, report, state):
         asms = [s.asm_text for s in report.corpus.samples if s.usable]
@@ -387,6 +515,7 @@ class ArchitectureDiscovery:
             asms,
             report.probe_log,
             scheduler=self.scheduler,
+            progress=self._progress("register discovery"),
         )
 
     def _phase_extract(self, report, state):
@@ -401,39 +530,56 @@ class ArchitectureDiscovery:
                 self._quarantine(sample, "region extraction", exc)
 
     def _phase_mutation(self, report, state):
-        engine = MutationEngine(
-            report.corpus, word_bits=report.enquire.word_bits, seed=self.seed
-        )
-        report.engine = engine
-        # Corpus-wide facts are computed once, sequentially, *before* the
-        # fan-out: the functional-register set and the pilot sample's
-        # clobber-safe set (which seeds the engine's fast-path guess).
-        # Forked engines then share them read-only, so the answers --
-        # and the rng draws that produced them -- are identical for any
-        # worker count.
-        engine.functional_registers()
-        pilot = next(iter(report.corpus.usable_samples()), None)
-        if pilot is not None:
-            engine.clobber_safe_registers(pilot)
-        tasks = [s for s in report.corpus.samples if s.usable]
+        if report.engine is None:
+            engine = MutationEngine(
+                report.corpus, word_bits=report.enquire.word_bits, seed=self.seed
+            )
+            report.engine = engine
+            # Corpus-wide facts are computed once, sequentially, *before*
+            # the fan-out: the functional-register set and the pilot
+            # sample's clobber-safe set (which seeds the engine's
+            # fast-path guess).  Forked engines then share them
+            # read-only, so the answers -- and the rng draws that
+            # produced them -- are identical for any worker count.  On
+            # resume the pickled engine carries both facts and its rng
+            # position, so nothing is recomputed or redrawn.
+            engine.functional_registers()
+            pilot = next(iter(report.corpus.usable_samples()), None)
+            if pilot is not None:
+                engine.clobber_safe_registers(pilot)
+        engine = report.engine
+        progress = self._progress("mutation analysis")
+        analysed = set()
+        for names in progress.payloads():
+            analysed.update(names)
+        tasks = [
+            s
+            for s in report.corpus.samples
+            if s.usable and s.name not in analysed
+        ]
 
         def analyse(sample, conn):
             fork = engine.fork(sample.name, machine=conn)
             Preprocessor(fork).process(sample)
             return fork
 
-        outcomes = self.scheduler.map(analyse, tasks, phase="mutation analysis")
-        for sample, outcome in zip(tasks, outcomes):
-            if outcome.ok:
-                engine.absorb(outcome.value)
-            elif isinstance(outcome.error, DiscoveryInterrupted):
-                raise outcome.error
-            elif isinstance(outcome.error, DiscoveryError):
-                sample.discard(f"preprocessing failed: {outcome.error}")
-            elif isinstance(outcome.error, TargetError):
-                self._quarantine(sample, "mutation analysis", outcome.error)
-            else:
-                raise outcome.error
+        for chunk in chunked(tasks, progress.chunk):
+            outcomes = self.scheduler.map(analyse, chunk, phase="mutation analysis")
+            for sample, outcome in zip(chunk, outcomes):
+                if outcome.ok:
+                    engine.absorb(outcome.value)
+                elif isinstance(outcome.error, DiscoveryInterrupted):
+                    raise outcome.error
+                elif isinstance(outcome.error, DiscoveryError):
+                    sample.discard(f"preprocessing failed: {outcome.error}")
+                elif isinstance(outcome.error, TargetError):
+                    self._quarantine(sample, "mutation analysis", outcome.error)
+                else:
+                    raise outcome.error
+            # Quarantined and discarded samples are recorded *done* too:
+            # resume must not silently retry them (their probes failed
+            # terminally; the discarded reason rides the checkpoint).
+            progress.record(progress.next_key(), [s.name for s in chunk])
 
     def _phase_addresses(self, report, state):
         report.addr_map = discover_address_map(report.corpus)
@@ -458,8 +604,19 @@ class ArchitectureDiscovery:
                 report.enquire.word_bits,
                 use_likelihood=self.use_likelihood,
             )
+        # Shard outcomes are the phase's completion records: each solved
+        # shard commits, and resume hands the already-solved ones back so
+        # only the unsolved suffix re-runs.  Shards are seeded per-index,
+        # so the merge -- and the spec -- cannot tell the difference.
+        progress = self._progress("reverse interpretation")
+        done = {o.index: o for o in progress.payloads()}
         report.extraction = self.extractor.extract(
-            state.get("graph_roles", {}), self.ri_budget
+            state.get("graph_roles", {}),
+            self.ri_budget,
+            completed=done,
+            on_shard=lambda outcome: progress.record(
+                f"shard-{outcome.index:05d}", outcome
+            ),
         )
         report.extraction_stats = self.extractor.stats
 

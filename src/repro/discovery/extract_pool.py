@@ -623,9 +623,17 @@ class ExtractionEngine:
 
     # -- reverse interpretation ----------------------------------------
 
-    def extract(self, graph_roles, budget, ri_samples=None):
+    def extract(self, graph_roles, budget, ri_samples=None, completed=None, on_shard=None):
         """Shard, solve, merge, fixpoint.  Returns the merged
-        :class:`ExtractionResult`; counters land in ``self.stats``."""
+        :class:`ExtractionResult`; counters land in ``self.stats``.
+
+        *completed* maps shard index -> :class:`ShardOutcome` from a
+        resumed run's checkpoint: those shards are not re-solved, their
+        recorded outcomes join the merge directly.  *on_shard* is called
+        with each **newly** solved outcome (in shard-index order) --
+        the driver's per-shard durable commit hook.  Shard budgets are
+        seeded per index, so the merge cannot tell replay from solve.
+        """
         samples = list(ri_samples) if ri_samples is not None else list(self._samples)
         by_name = {s.name: s for s in samples}
         shards = partition_shards(samples)
@@ -635,9 +643,12 @@ class ExtractionEngine:
         self.stats.shard_sizes = sizes
         self.stats.budget_total = budget
 
+        outcomes = dict(completed) if completed else {}
         memo = _MEMO  # the parent-process memo (None when disabled)
         dispatch, inline = [], []
         for index, (shard, share) in enumerate(zip(shards, shares)):
+            if index in outcomes:
+                continue
             names = [s.name for s in shard]
             member = set(names)
             roles = {
@@ -658,7 +669,6 @@ class ExtractionEngine:
             for task in dispatch:
                 futures[task[0]] = self.pool.submit(_task_solve_shard, *task)
 
-        outcomes = {}
         for index, names, share, roles in inline:
             evaluator = self._parent_evaluator()
             prefetch = self._make_prefetcher(memo, roles)
@@ -680,8 +690,12 @@ class ExtractionEngine:
                 memo_hits=hits1 - hits0,
                 memo_misses=misses1 - misses0,
             )
-        for index, future in futures.items():
-            outcomes[index] = future.result()
+            if on_shard is not None:
+                on_shard(outcomes[index])
+        for index in sorted(futures):
+            outcomes[index] = futures[index].result()
+            if on_shard is not None:
+                on_shard(outcomes[index])
 
         # Deterministic ordered merge: shard-index order, regardless of
         # completion order or venue.

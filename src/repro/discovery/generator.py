@@ -52,6 +52,30 @@ class SampleGenerator:
         sample and fans out over *scheduler*'s connection pool when one
         is given.  Samples are appended in spec order either way.
         """
+        corpus = self.build_corpus(
+            word_bits=word_bits, extra_value_rounds=extra_value_rounds
+        )
+        specs = corpus.samples
+        if scheduler is not None:
+            scheduler.map_values(
+                lambda sample, conn: realise_sample(corpus.bind(conn), sample),
+                specs,
+                phase="sample generation",
+            )
+        else:
+            for sample in specs:
+                realise_sample(corpus, sample)
+        return corpus
+
+    def build_corpus(self, word_bits=32, extra_value_rounds=1):
+        """Spec construction only: the corpus with every sample appended
+        in spec order but none realised (``expected_output`` unset).
+
+        The driver realises in checkpointed chunks via
+        :func:`realise_sample`; splitting the phases this way makes the
+        sample *set* durable the moment the corpus exists, so a crashed
+        run resumes with exactly the unrealised suffix.
+        """
         self.word_bits = word_bits
         corpus = Corpus(self.machine, self.syntax)
         specs = []
@@ -67,15 +91,6 @@ class SampleGenerator:
         specs.extend(self._copy_specs())
         specs.extend(self._cond_specs())
         specs.extend(self._call_specs())
-        if scheduler is not None:
-            scheduler.map_values(
-                lambda sample, conn: self._realise(corpus.bind(conn), sample),
-                specs,
-                phase="sample generation",
-            )
-        else:
-            for sample in specs:
-                self._realise(corpus, sample)
         corpus.samples.extend(specs)
         return corpus
 
@@ -257,29 +272,29 @@ class SampleGenerator:
             ),
         ]
 
-    # -- realisation ------------------------------------------------------
+def realise_sample(corpus, sample):
+    """Compile the sample and run it once to record its output.
 
-    def _realise(self, corpus, sample):
-        """Compile the sample and run it once to record its output.
-
-        A target that stays unreachable through the retry policy costs
-        only this sample (quarantine), not the whole generation phase.
-        """
-        sample.main_c = make_main_source(sample.statement)
-        try:
-            sample.asm_text = corpus.machine.compile_c(
-                sample.main_c, headers={"init.h": INIT_HEADER}
-            )
-            result = corpus.run_raw(sample)
-        except TargetError as exc:
-            sample.discard(f"quarantined (generation): {exc}")
-            return
-        if result is None or not result.ok:
-            sample.discard(
-                f"original run failed: {result.error if result else 'assembly/link error'}"
-            )
-            return
-        sample.expected_output = result.output
+    Module-level (not a generator method) so the driver can realise a
+    resumed corpus without reconstructing the generator or replaying its
+    rng.  A target that stays unreachable through the retry policy costs
+    only this sample (quarantine), not the whole generation phase.
+    """
+    sample.main_c = make_main_source(sample.statement)
+    try:
+        sample.asm_text = corpus.machine.compile_c(
+            sample.main_c, headers={"init.h": INIT_HEADER}
+        )
+        result = corpus.run_raw(sample)
+    except TargetError as exc:
+        sample.discard(f"quarantined (generation): {exc}")
+        return
+    if result is None or not result.ok:
+        sample.discard(
+            f"original run failed: {result.error if result else 'assembly/link error'}"
+        )
+        return
+    sample.expected_output = result.output
 
 
 def _op_name(op):

@@ -65,6 +65,18 @@ class ProbeLog:
         with self._lock:
             self.notes.append(text)
 
+    # Locks do not pickle; the log rides discovery checkpoints, so drop
+    # the lock on freeze and grow a fresh one on thaw.
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
 
 def _assembles(machine, body):
     return machine.assembles_ok(".text\n.globl main\nmain:\n" + body + "\n")
@@ -257,7 +269,9 @@ def _expansion_candidates(confirmed):
     return candidates
 
 
-def discover_registers(machine, syntax, asm_texts, log=None, scheduler=None):
+def discover_registers(
+    machine, syntax, asm_texts, log=None, scheduler=None, progress=None
+):
     """Build the register universe: seed by scanning, confirm by probing,
     then expand each confirmed name's family and probe those too.
 
@@ -271,6 +285,13 @@ def discover_registers(machine, syntax, asm_texts, log=None, scheduler=None):
     out over the connection pool; the confirmed set is merged from
     results in candidate order, making the outcome identical for any
     worker count.
+
+    Pass a :class:`~repro.discovery.durable.PhaseProgress` to probe in
+    checkpointed chunks: each chunk's confirmed subset is recorded under
+    a position-stable key, and a resumed run replays recorded chunks
+    from the checkpoint instead of re-probing the target.  Candidate
+    lists are sorted, so chunk boundaries -- and the replay -- are
+    identical across runs.
     """
 
     def probes_ok(candidate, conn=machine):
@@ -281,7 +302,7 @@ def discover_registers(machine, syntax, asm_texts, log=None, scheduler=None):
                 log.note(f"register probe {candidate!r} skipped: {exc}")
             return False
 
-    def probe_batch(candidates, phase):
+    def probe_chunk(candidates, phase):
         if scheduler is not None:
             # Non-transient errors (e.g. an open circuit breaker) abort
             # the phase exactly as they would in the sequential loop.
@@ -290,6 +311,23 @@ def discover_registers(machine, syntax, asm_texts, log=None, scheduler=None):
             )
             return {cand for cand, ok in zip(candidates, outcomes) if ok}
         return {cand for cand in candidates if probes_ok(cand)}
+
+    def probe_batch(candidates, phase):
+        if progress is None:
+            return probe_chunk(candidates, phase)
+        from repro.discovery.durable import chunked
+
+        confirmed = set()
+        for position, chunk in enumerate(chunked(candidates, progress.chunk)):
+            key = f"{phase}:{position:05d}"
+            replay = progress.recorded(key)
+            if replay is not None:
+                confirmed.update(replay)
+                continue
+            got = probe_chunk(chunk, phase)
+            confirmed.update(got)
+            progress.record(key, sorted(got))
+        return confirmed
 
     confirmed = probe_batch(sorted(_register_seeds(syntax, asm_texts)), "register seeds")
     expansion = [

@@ -1,0 +1,142 @@
+"""Seeded crash injection for the discovery driver.
+
+The fault layer (:mod:`repro.machines.faults`) simulates the *target*
+dying; this module simulates the *discovery process itself* dying --
+the other half of the deployment reality a long-running probe campaign
+faces.  A :class:`CrashPlan` names one point in the driver's phase
+table (before a phase, after a phase's checkpoint committed, or after
+the N-th per-sample completion record inside a fan-out phase) and, when
+the driver reaches it, either raises :class:`SimulatedCrash` or -- in
+``kill`` mode -- SIGKILLs the process outright, so nothing between the
+last durable commit and the crash survives, exactly like a power cut.
+
+The crash-durability tests sweep :meth:`CrashPlan.sweep` across the
+whole phase table and assert that every killed-and-resumed run produces
+a spec bit-for-bit identical to an uninterrupted one;
+:meth:`CrashPlan.random` draws a seeded crash point for soak-style
+harnesses.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+from dataclasses import dataclass
+
+#: crash-point kinds, in the order the driver visits them
+KINDS = ("before", "after", "sample")
+
+
+class SimulatedCrash(BaseException):
+    """Process death, simulated in-process.
+
+    Deliberately **not** an :class:`Exception`: the pipeline's
+    quarantine/retry machinery must never absorb a crash the way it
+    absorbs a flaky probe -- a crash unwinds everything, like SIGKILL
+    minus the coroner."""
+
+    def __init__(self, kind, phase, index=None):
+        where = f"{kind} {phase!r}"
+        if index is not None:
+            where += f" (sample record {index})"
+        super().__init__(f"simulated process crash {where}")
+        self.kind = kind
+        self.phase = phase
+        self.index = index
+
+
+@dataclass
+class CrashPlan:
+    """One scheduled process death.
+
+    ``kind``
+        ``"before"`` -- fire just before the named phase starts;
+        ``"after"`` -- fire right after the phase's checkpoint committed;
+        ``"sample"`` -- fire once the named fan-out phase has committed
+        at least ``index`` per-sample completion records (mid-phase).
+    ``kill``
+        SIGKILL the current process instead of raising
+        :class:`SimulatedCrash`: a *real* unclean death for subprocess
+        end-to-end tests (no ``finally`` blocks, no interpreter exit).
+    """
+
+    kind: str
+    phase: str
+    index: int = 1
+    kill: bool = False
+    fired: bool = False
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"crash kind must be one of {KINDS}, got {self.kind!r}")
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec, kill=False):
+        """Parse ``"before:<phase>"``, ``"after:<phase>"`` or
+        ``"sample:<phase>:<n>"``.  Underscores in the phase name stand
+        for spaces, so specs survive shells unquoted."""
+        parts = spec.split(":")
+        if len(parts) == 2:
+            kind, phase = parts
+            index = 1
+        elif len(parts) == 3:
+            kind, phase, raw = parts
+            try:
+                index = int(raw)
+            except ValueError as exc:
+                raise ValueError(f"bad sample index in crash spec {spec!r}") from exc
+        else:
+            raise ValueError(
+                f"bad crash spec {spec!r}; want kind:phase or sample:phase:n"
+            )
+        return cls(kind=kind, phase=phase.replace("_", " "), index=index, kill=kill)
+
+    @classmethod
+    def sweep(cls, phases, kill=False):
+        """One plan per phase boundary, in driver order -- the full
+        crash-at-every-phase table the durability tests iterate."""
+        plans = []
+        for phase in phases:
+            plans.append(cls(kind="before", phase=phase, kill=kill))
+            plans.append(cls(kind="after", phase=phase, kill=kill))
+        return plans
+
+    @classmethod
+    def random(cls, seed, phases, max_sample_index=8, kill=False):
+        """A seeded random crash point over the phase table (soak
+        harnesses want coverage without enumerating the sweep)."""
+        rng = random.Random(seed)
+        kind = rng.choice(KINDS)
+        phase = rng.choice(list(phases))
+        index = rng.randint(1, max_sample_index) if kind == "sample" else 1
+        return cls(kind=kind, phase=phase, index=index, kill=kill)
+
+    # -- firing ---------------------------------------------------------
+
+    def matches(self, kind, phase, index=None):
+        if self.fired or kind != self.kind or phase != self.phase:
+            return False
+        if kind == "sample":
+            return index is not None and index >= self.index
+        return True
+
+    def fire(self, kind, phase, index=None):
+        """Crash now.  In ``kill`` mode the call never returns."""
+        self.fired = True
+        if self.kill:
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise SimulatedCrash(kind, phase, index)
+
+    def check(self, kind, phase, index=None):
+        """The driver's hook: crash iff this is the scheduled point."""
+        if self.matches(kind, phase, index):
+            self.fire(kind, phase, index)
+
+    def describe(self):
+        mode = "SIGKILL" if self.kill else "raise"
+        if self.kind == "sample":
+            return f"crash[{mode}] in {self.phase!r} at sample record {self.index}"
+        return f"crash[{mode}] {self.kind} {self.phase!r}"

@@ -124,6 +124,90 @@ class TestDet004SetIteration:
         assert codes(snippet) == []
 
 
+class TestDet005SetFedDict:
+    def test_loop_fed_dict_iteration_flagged(self):
+        snippet = """
+            def f():
+                d = {}
+                for x in {1, 2, 3}:
+                    d[x] = x * 2
+                for k in d:
+                    emit(k)
+        """
+        assert codes(snippet) == ["DET004", "DET005"]
+
+    def test_dictcomp_over_set_flagged_at_iteration(self):
+        snippet = """
+            def f(items):
+                d = {x: 1 for x in set(items)}
+                return list(d)
+        """
+        assert codes(snippet) == ["DET004", "DET005"]
+
+    def test_items_view_of_tainted_dict_flagged(self):
+        snippet = """
+            def f(s):
+                d = {}
+                for x in s | {1}:
+                    d[x] = 1
+                return [k for k, v in d.items()]
+        """
+        assert codes(snippet) == ["DET004", "DET005"]
+
+    def test_sorted_feeding_loop_ok(self):
+        snippet = """
+            def f():
+                d = {}
+                for x in sorted({1, 2}):
+                    d[x] = 1
+                for k in d:
+                    emit(k)
+        """
+        assert codes(snippet) == []
+
+    def test_order_insensitive_consumer_ok(self):
+        snippet = """
+            def f(items):
+                d = {x: 1 for x in set(items)}
+                return sum(v for v in d.values())
+        """
+        # The dict-build still draws DET004; consuming it through sum()
+        # adds no DET005.
+        assert codes(snippet) == ["DET004"]
+
+    def test_fresh_dict_clears_taint(self):
+        snippet = """
+            def f(s):
+                d = {}
+                for x in {1, 2}:
+                    d[x] = 1
+                d = {}
+                for k in d:
+                    emit(k)
+        """
+        assert codes(snippet) == ["DET004"]
+
+    def test_subscript_outside_set_loop_ok(self):
+        snippet = """
+            def f(items):
+                d = {}
+                for x in sorted(items):
+                    d[x] = 1
+                for k in d:
+                    emit(k)
+        """
+        assert codes(snippet) == []
+
+    def test_waiver(self):
+        snippet = """
+            def f(items):
+                d = {x: 1 for x in set(items)}  # detlint: ok[DET004]
+                for k in d:  # detlint: ok[DET005]
+                    emit(k)
+        """
+        assert codes(snippet) == []
+
+
 class TestSuppression:
     def test_blanket_waiver(self):
         snippet = "for x in {1, 2}:  # detlint: ok\n    print(x)\n"
