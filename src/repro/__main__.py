@@ -7,6 +7,11 @@
                              [--latency SECONDS]
                              [--run-dir DIR] [--checkpoint-every N]
     python -m repro discover --resume RUNDIR [--workers N] [--extract-procs N]
+    python -m repro campaign <target>... --root DIR [--fleet N]
+                             [--max-attempts N] [--deadline SECONDS]
+                             [--heartbeat-every S] [--lease-timeout S]
+                             [--chaos-kills N --chaos-seed N]
+    python -m repro migrate-run RUNDIR
     python -m repro retarget <target>... --program FILE.a
     python -m repro run <target> --program FILE.a
     python -m repro lint [<target>...] [--source PATH] [--format text|json|sarif]
@@ -35,6 +40,15 @@ samples) commits an atomic checkpoint generation to the directory, and
 producing a spec bit-for-bit identical to an uninterrupted run.
 ``--crash-at``/``--crash-kill`` are the crash-injection harness the
 durability tests drive (see :mod:`repro.machines.crashes`).
+
+``campaign`` runs discovery against many targets at once under the
+supervisor (see :mod:`repro.discovery.supervisor`): each target gets a
+child worker, workers heartbeat leases into their run directories, and
+a dead or wedged worker's campaign is adopted by a fresh one via the
+portable checkpoints -- retry with backoff first, then escalate venue
+knobs, then quarantine with a typed failure record.  ``migrate-run``
+rewrites a run directory's newest checkpoint from the legacy pickle
+schema to the portable one.
 """
 
 from __future__ import annotations
@@ -66,12 +80,13 @@ def _resilience_config(args):
     from repro.discovery.resilience import ResilienceConfig
 
     flaky = getattr(args, "flaky", 0.0)
-    return ResilienceConfig(
-        max_retries=args.max_retries,
+    if getattr(args, "votes", None):
+        votes = args.votes
+    else:
         # Voting costs executions; only pay for it when the target is
         # declared flaky (at votes=1 the fast path adds zero overhead).
-        votes=3 if flaky else 1,
-    )
+        votes = 3 if flaky else 1
+    return ResilienceConfig(max_retries=args.max_retries, votes=votes)
 
 
 def _crash_plan(args):
@@ -95,6 +110,11 @@ def _cmd_discover(args):
 
         run = DurableRun.open(args.resume)
         machine, resilience = machine_from_config(run.config)
+        if getattr(args, "votes", None):
+            # The supervisor's escalation ladder raises votes on a
+            # struggling campaign; votes are a venue knob (majority
+            # voting changes cost, never the deterministic answer).
+            resilience.votes = args.votes
         resume_checkpoint, warnings = run.load_checkpoint()
         for warning in warnings:
             print(f"warning: {warning}", file=sys.stderr)
@@ -133,8 +153,23 @@ def _cmd_discover(args):
             crash_plan=_crash_plan(args),
             checkpoint_every=args.checkpoint_every,
         )
+    lease = None
+    lease_dir = args.resume or args.run_dir
+    if getattr(args, "heartbeat_every", None) and lease_dir:
+        from repro.discovery.supervisor import LeaseWriter
+
+        lease = LeaseWriter(lease_dir, args.heartbeat_every).start()
     try:
         report = discovery.run(resume=resume_checkpoint)
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        if discovery.interrupt_run_dir is not None:
+            print(
+                f"checkpoint saved; resume with: "
+                f"repro discover --resume {discovery.interrupt_run_dir}",
+                file=sys.stderr,
+            )
+        return 130
     except DiscoveryInterrupted as exc:
         print(f"discovery interrupted during '{exc.phase}': {exc.cause}", file=sys.stderr)
         print(
@@ -150,6 +185,9 @@ def _cmd_discover(args):
         if getattr(args, "max_retries", None) == 0:
             print("hint: retries are disabled (--max-retries 0)", file=sys.stderr)
         return 1
+    finally:
+        if lease is not None:
+            lease.stop()
     print(report.render_summary())
     if args.out:
         from repro.reporting import write_report
@@ -159,6 +197,80 @@ def _cmd_discover(args):
     else:
         print()
         print(report.spec.render_beg())
+    return 0
+
+
+def _cmd_campaign(args):
+    from repro.discovery.supervisor import CampaignPolicy, CampaignSupervisor
+
+    policy = CampaignPolicy(
+        max_attempts=args.max_attempts,
+        backoff_base=args.backoff,
+        escalate_after=args.escalate_after,
+        escalate_votes=args.escalate_votes,
+        lease_timeout=args.lease_timeout,
+        deadline=args.deadline,
+    )
+    kill_plan = None
+    if args.chaos_kills:
+        from repro.discovery.driver import ArchitectureDiscovery
+        from repro.machines.crashes import FleetKillPlan
+
+        phases = [name for name, _ in ArchitectureDiscovery.PHASES]
+        kill_plan = FleetKillPlan.seeded(
+            args.chaos_seed, args.targets, phases,
+            sample_phases=ArchitectureDiscovery.FAN_OUT_PHASES,
+            kills_per_campaign=args.chaos_kills,
+        )
+        print("chaos kill schedule:")
+        print(kill_plan.describe())
+    supervisor = CampaignSupervisor(
+        args.targets,
+        args.root,
+        fleet=args.fleet,
+        policy=policy,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        heartbeat_every=args.heartbeat_every,
+        kill_plan=kill_plan,
+    )
+    summary = supervisor.run()
+    print()
+    for entry in summary["campaigns"]:
+        spec = entry["spec"] or "-"
+        print(
+            f"{entry['target']:8s} {entry['state']:12s} "
+            f"attempts={entry['attempts']} {spec}"
+        )
+    return 0 if summary["ok"] else 1
+
+
+def _cmd_migrate_run(args):
+    from repro.discovery import durable
+
+    run = durable.DurableRun.open(args.rundir)
+    generations = run.generations()
+    if not generations:
+        print(f"no checkpoints in {args.rundir}; nothing to migrate", file=sys.stderr)
+        return 1
+    schema = durable.generation_schema(generations[-1].read_bytes())
+    if schema == durable.CHECKPOINT_SCHEMA:
+        print(f"{args.rundir}: already schema {schema}, nothing to do")
+        return 0
+    checkpoint, warnings = run.load_checkpoint()
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if checkpoint is None:
+        print(f"no loadable checkpoint in {args.rundir}", file=sys.stderr)
+        return 1
+    path = run.commit(checkpoint)
+    run.config["schema"] = durable.CHECKPOINT_SCHEMA
+    run._write_manifest()
+    print(
+        f"migrated {args.rundir}: {path.name} is schema "
+        f"{durable.CHECKPOINT_SCHEMA} (portable; loads pickle-free)"
+    )
     return 0
 
 
@@ -342,6 +454,91 @@ def main(argv=None):
         help="SIGKILL the process at the --crash-at point instead of "
         "raising (a real unclean death, for the e2e tests)",
     )
+    p_discover.add_argument(
+        "--heartbeat-every",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="heartbeat a liveness lease into the run directory at this "
+        "interval (used by the campaign supervisor; needs --run-dir or "
+        "--resume)",
+    )
+    p_discover.add_argument(
+        "--votes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the resilience vote count (a venue knob: changes "
+        "cost, never the discovered spec)",
+    )
+
+    p_campaign = sub.add_parser(
+        "campaign", help="supervise discovery campaigns against many targets"
+    )
+    p_campaign.add_argument("targets", nargs="+", choices=target_names())
+    p_campaign.add_argument(
+        "--root", required=True, metavar="DIR",
+        help="campaign root: per-target run/out/log directories live here",
+    )
+    p_campaign.add_argument(
+        "--fleet", type=int, default=2, metavar="N",
+        help="concurrent worker processes (default: 2)",
+    )
+    p_campaign.add_argument("--seed", type=int, default=1997)
+    p_campaign.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="shared probe cache for all workers",
+    )
+    p_campaign.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="target connections per worker (venue knob)",
+    )
+    p_campaign.add_argument(
+        "--max-attempts", type=int, default=5, metavar="N",
+        help="worker attempts per campaign before quarantine (default: 5)",
+    )
+    p_campaign.add_argument(
+        "--backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base retry backoff, doubled per failure (default: 0.5)",
+    )
+    p_campaign.add_argument(
+        "--escalate-after", type=int, default=2, metavar="N",
+        help="failures before relaunching with escalated venue knobs "
+        "(--workers 1 --no-cache) (default: 2)",
+    )
+    p_campaign.add_argument(
+        "--escalate-votes", type=int, default=None, metavar="N",
+        help="also raise resilience votes to N when escalating",
+    )
+    p_campaign.add_argument(
+        "--heartbeat-every", type=float, default=0.5, metavar="SECONDS",
+        help="worker lease heartbeat interval; 0 disables (default: 0.5)",
+    )
+    p_campaign.add_argument(
+        "--lease-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="missed-lease window before a worker is declared wedged "
+        "and killed (default: 10)",
+    )
+    p_campaign.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole campaign fleet; unfinished "
+        "campaigns emit partial specs and incomplete.json",
+    )
+    p_campaign.add_argument(
+        "--chaos-kills", type=int, default=0, metavar="N",
+        help="chaos harness: SIGKILL each campaign's worker N times at "
+        "seeded points before letting it finish",
+    )
+    p_campaign.add_argument(
+        "--chaos-seed", type=int, default=0xC4A0, metavar="N",
+        help="seed for the chaos kill schedule",
+    )
+
+    p_migrate = sub.add_parser(
+        "migrate-run",
+        help="rewrite a run directory's checkpoint to the portable schema",
+    )
+    p_migrate.add_argument("rundir", metavar="RUNDIR")
 
     p_retarget = sub.add_parser(
         "retarget", help="retarget ac and validate a program on each target"
@@ -396,6 +593,8 @@ def main(argv=None):
     handler = {
         "targets": _cmd_targets,
         "discover": _cmd_discover,
+        "campaign": _cmd_campaign,
+        "migrate-run": _cmd_migrate_run,
         "retarget": _cmd_retarget,
         "run": _cmd_run,
         "lint": _cmd_lint,

@@ -258,6 +258,15 @@ class ArchitectureDiscovery:
     extra target interactions.
     """
 
+    #: phases with per-sample completion records (mid-phase checkpoint
+    #: boundaries; the chaos harness aims its ``sample`` kills here)
+    FAN_OUT_PHASES = (
+        "sample generation",
+        "register discovery",
+        "mutation analysis",
+        "reverse interpretation",
+    )
+
     #: the phase table: (name, method) in execution order
     PHASES = (
         ("enquire", "_phase_enquire"),
@@ -334,6 +343,8 @@ class ArchitectureDiscovery:
         self._report = None
         self._completed = None
         self._state = None
+        #: where the Ctrl-C auto-persist landed (set on KeyboardInterrupt)
+        self.interrupt_run_dir = None
 
     def run(self, resume=None):
         """Run all phases; pass ``resume=interrupted.checkpoint`` (or a
@@ -388,6 +399,20 @@ class ArchitectureDiscovery:
                 completed.append(name)
                 self._commit()
                 self._crash_point("after", name)
+        except KeyboardInterrupt:
+            # Ctrl-C gets a durability story too: the run is one
+            # --resume away instead of lost.  With a run directory the
+            # newest on-disk generation (committed at the last record
+            # boundary) is already consistent -- committing the live
+            # in-memory state here could snapshot a chunk that was
+            # absorbed but not yet recorded, which a resume would then
+            # redo.  Without one, best-effort persist into a fallback
+            # directory beats losing everything.
+            if self.durable is not None:
+                self.interrupt_run_dir = str(self.durable.directory)
+            else:
+                self.interrupt_run_dir = self._persist_interrupt(self._checkpoint())
+            raise
         finally:
             self.scheduler.close()
             self.extractor.close()

@@ -36,14 +36,22 @@ Three guarantees:
   resumed run re-does only the samples whose results never committed --
   cheap with a warm probe cache, and still exact with a cold one.
 
-Serialisation is :mod:`pickle` behind a schema-versioned, checksummed
-envelope: the checkpoint holds live analysis objects (samples, DFGs,
-the mutation engine with its RNG mid-stream positions) whose fidelity
-is what makes the resumed spec identical.  Target connections are *not*
-serialised -- :func:`detach_runtime` strips them before pickling and
-the driver rebinds the corpus to its freshly opened connection on
-resume; :func:`machine_from_config` rebuilds the same connection stack
-(fault plan, latency, fuel) from ``run.json``.
+Serialisation is the **portable structured codec**
+(:mod:`repro.discovery.portable`) behind the same schema-versioned,
+checksummed envelope: the checkpoint holds live analysis objects
+(samples, DFGs, the mutation engine with its RNG mid-stream positions)
+whose fidelity is what makes the resumed spec identical, and the codec
+encodes them as deterministic, closed-world tagged JSON so *any* worker
+on *any* build can adopt the run -- the property the campaign
+supervisor's crash adoption rests on.  Schema-1 generations (the
+pickle era, one release back) are still readable: the loader falls back
+to :mod:`pickle` with a warning and bumps :data:`LEGACY_PICKLE_LOADS`
+so tests can pin that the happy path performs **zero** pickle loads;
+``repro migrate-run`` rewrites such a directory in place.  Target
+connections are *not* serialised -- the codec excludes them and the
+driver rebinds the corpus to its freshly opened connection on resume;
+:func:`machine_from_config` rebuilds the same connection stack (fault
+plan, latency, fuel) from ``run.json``.
 """
 
 from __future__ import annotations
@@ -57,11 +65,20 @@ import pickle
 import tempfile
 from contextlib import contextmanager
 
+from repro.discovery import portable
 from repro.errors import DiscoveryError
 
-#: bump when the checkpoint payload layout changes: old generations
-#: must be treated as foreign (fall back, warn, never unpickle)
-CHECKPOINT_SCHEMA = 1
+#: bump when the checkpoint payload layout changes.  Schema 2 is the
+#: portable structured codec; schema 1 (pickle) is readable for one
+#: release via the legacy fallback, anything else is foreign.
+CHECKPOINT_SCHEMA = 2
+
+#: the last schema whose payload was pickle; readable but counted
+LEGACY_PICKLE_SCHEMA = 1
+
+#: incremented on every pickle-fallback load -- the chaos tests assert
+#: this stays zero on the happy path
+LEGACY_PICKLE_LOADS = 0
 
 #: first bytes of every checkpoint generation
 MAGIC = b"repro-checkpoint\n"
@@ -144,9 +161,12 @@ def machine_from_config(config):
 
 @contextmanager
 def detach_runtime(checkpoint):
-    """Temporarily strip live target connections from a checkpoint so it
-    pickles; restores them before returning control (the driver keeps
-    using the same objects after a commit)."""
+    """Temporarily strip live target connections from a checkpoint
+    before serialising; restores them before returning control (the
+    driver keeps using the same objects after a commit).  The portable
+    codec also excludes these fields by registry policy -- this guard
+    keeps the invariant visible at the call site and covers any future
+    payload that aliases the corpus connection."""
     corpus = checkpoint.report.corpus
     if corpus is None:
         yield checkpoint
@@ -162,21 +182,28 @@ def detach_runtime(checkpoint):
         corpus._init_cache = saved_cache
 
 
-def freeze_checkpoint(checkpoint):
-    """Serialise a checkpoint into a self-validating binary blob."""
+def freeze_body(checkpoint):
+    """The portable payload bytes of a checkpoint -- deterministic, so
+    equal checkpoints freeze to equal bytes on every build (this is
+    what the lease-hygiene tests hash)."""
     with detach_runtime(checkpoint):
-        payload = pickle.dumps(
+        return portable.dumps(
             {
                 "target": checkpoint.target,
                 "completed": list(checkpoint.completed),
                 "state": checkpoint.state,
                 "report": checkpoint.report,
-            },
-            protocol=pickle.HIGHEST_PROTOCOL,
+            }
         )
+
+
+def freeze_checkpoint(checkpoint):
+    """Serialise a checkpoint into a self-validating binary blob."""
+    payload = freeze_body(checkpoint)
     header = json.dumps(
         {
             "schema": CHECKPOINT_SCHEMA,
+            "format": portable.PORTABLE_FORMAT,
             "target": checkpoint.target,
             "length": len(payload),
             "sha256": hashlib.sha256(payload).hexdigest(),
@@ -186,11 +213,9 @@ def freeze_checkpoint(checkpoint):
     return MAGIC + header + b"\n" + payload
 
 
-def thaw_checkpoint(blob):
-    """Validate and deserialise one checkpoint generation.  Raises
-    :class:`CheckpointCorrupt` on any defect; the caller falls back."""
-    from repro.discovery.driver import DiscoveryCheckpoint
-
+def parse_envelope(blob):
+    """Validate a generation's envelope; ``(header, payload)`` on
+    success, :class:`CheckpointCorrupt` on any defect."""
     if not blob.startswith(MAGIC):
         raise CheckpointCorrupt("bad magic (not a checkpoint file)")
     stream = io.BytesIO(blob[len(MAGIC) :])
@@ -199,11 +224,6 @@ def thaw_checkpoint(blob):
         header = json.loads(header_line)
     except ValueError as exc:
         raise CheckpointCorrupt(f"unparsable header: {exc}") from exc
-    if header.get("schema") != CHECKPOINT_SCHEMA:
-        raise CheckpointCorrupt(
-            f"schema version {header.get('schema')!r} "
-            f"(this build reads {CHECKPOINT_SCHEMA})"
-        )
     payload = stream.read()
     if len(payload) != header.get("length"):
         raise CheckpointCorrupt(
@@ -211,10 +231,50 @@ def thaw_checkpoint(blob):
         )
     if hashlib.sha256(payload).hexdigest() != header.get("sha256"):
         raise CheckpointCorrupt("payload checksum mismatch")
+    return header, payload
+
+
+def generation_schema(blob):
+    """The schema version a generation claims in its header, or None
+    when the header is unreadable (callers that care about validity use
+    :func:`parse_envelope`)."""
+    if not blob.startswith(MAGIC):
+        return None
     try:
-        data = pickle.loads(payload)
-    except Exception as exc:  # torn pickle inside a valid envelope
-        raise CheckpointCorrupt(f"payload does not unpickle: {exc}") from exc
+        return json.loads(blob[len(MAGIC) :].split(b"\n", 1)[0]).get("schema")
+    except ValueError:
+        return None
+
+
+def thaw_checkpoint(blob):
+    """Validate and deserialise one checkpoint generation.  Raises
+    :class:`CheckpointCorrupt` on any defect; the caller falls back.
+
+    Schema 2 payloads decode through the portable codec (no pickle
+    involved); schema 1 -- the previous release's pickle body -- still
+    loads, but bumps :data:`LEGACY_PICKLE_LOADS` so the zero-pickle
+    guarantee stays testable."""
+    global LEGACY_PICKLE_LOADS
+    from repro.discovery.driver import DiscoveryCheckpoint
+
+    header, payload = parse_envelope(blob)
+    schema = header.get("schema")
+    if schema == CHECKPOINT_SCHEMA:
+        try:
+            data = portable.loads(payload)
+        except portable.PortableError as exc:
+            raise CheckpointCorrupt(f"payload does not decode: {exc}") from exc
+    elif schema == LEGACY_PICKLE_SCHEMA:
+        try:
+            data = pickle.loads(payload)
+        except Exception as exc:  # torn pickle inside a valid envelope
+            raise CheckpointCorrupt(f"payload does not unpickle: {exc}") from exc
+        LEGACY_PICKLE_LOADS += 1
+    else:
+        raise CheckpointCorrupt(
+            f"schema version {schema!r} (this build reads "
+            f"{CHECKPOINT_SCHEMA}, legacy {LEGACY_PICKLE_SCHEMA})"
+        )
     return DiscoveryCheckpoint(
         target=data["target"],
         completed=data["completed"],
@@ -350,7 +410,8 @@ class DurableRun:
         warnings = []
         for path in reversed(self.generations()):
             try:
-                checkpoint = thaw_checkpoint(path.read_bytes())
+                blob = path.read_bytes()
+                checkpoint = thaw_checkpoint(blob)
             except CheckpointCorrupt as exc:
                 warnings.append(f"checkpoint {path.name} unusable: {exc}")
                 continue
@@ -363,6 +424,12 @@ class DurableRun:
                     f"manifest says {self.config.get('target')!r}"
                 )
                 continue
+            if generation_schema(blob) == LEGACY_PICKLE_SCHEMA:
+                warnings.append(
+                    f"checkpoint {path.name} is legacy pickle (schema "
+                    f"{LEGACY_PICKLE_SCHEMA}); run `repro migrate-run "
+                    f"{self.directory}` to convert it"
+                )
             return checkpoint, warnings
         return None, warnings
 

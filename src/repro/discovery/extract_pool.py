@@ -619,7 +619,11 @@ class ExtractionEngine:
         for result in results:
             for name, index, role in result:
                 roles[(name, index)] = role
-        return roles
+        # Canonical (name, index) order: match_binary's per-sample role
+        # dict iterates in hash order, which varies across interpreter
+        # processes -- consumers look roles up by key, but this dict
+        # rides the checkpoint, where insertion order is bytes.
+        return dict(sorted(roles.items()))
 
     # -- reverse interpretation ----------------------------------------
 

@@ -140,3 +140,96 @@ class CrashPlan:
         if self.kind == "sample":
             return f"crash[{mode}] in {self.phase!r} at sample record {self.index}"
         return f"crash[{mode}] {self.kind} {self.phase!r}"
+
+    def spec(self):
+        """The ``--crash-at`` spec string that parses back to this plan
+        (inverse of :meth:`parse`; spaces become underscores)."""
+        phase = self.phase.replace(" ", "_")
+        if self.kind == "sample":
+            return f"{self.kind}:{phase}:{self.index}"
+        return f"{self.kind}:{phase}"
+
+
+class FleetKillPlan:
+    """A seeded schedule of whole-worker SIGKILLs across a campaign
+    fleet -- the supervisor-level chaos harness.
+
+    Where :class:`CrashPlan` kills one process at one point, a fleet
+    kill plan assigns each campaign a *sequence* of crash points: the
+    campaign's first worker dies at the first point, the adopted worker
+    at the second, and so on until the schedule is spent and the final
+    worker runs to completion.  The supervisor injects each point as
+    ``--crash-at SPEC --crash-kill``, so the worker SIGKILLs itself at
+    a phase or mid-phase boundary -- a real unclean death, observed by
+    the supervisor as a vanished lease and exit code ``-SIGKILL``.
+
+    Seeding is per-target (``f"{seed}:{target}"``), so a schedule is
+    reproducible for any subset of targets in any order, and two
+    supervisors given the same seed agree on every kill.
+    """
+
+    def __init__(self, schedule):
+        self.schedule = dict(schedule)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed,
+        targets,
+        phases,
+        sample_phases=None,
+        kills_per_campaign=2,
+        max_sample_index=6,
+    ):
+        """Draw ``kills_per_campaign`` crash points for every target.
+        ``sample`` (mid-phase) points are aimed at *sample_phases* --
+        the driver's fan-out phases, where per-sample records give the
+        boundary meaning -- so every drawn kill can actually fire."""
+        sample_phases = list(sample_phases or phases)
+        schedule = {}
+        for target in targets:
+            rng = random.Random(f"{seed}:{target}")
+            plans = []
+            for _ in range(kills_per_campaign):
+                kind = rng.choice(KINDS)
+                if kind == "sample":
+                    phase = rng.choice(sample_phases)
+                    index = rng.randint(1, max_sample_index)
+                else:
+                    phase = rng.choice(list(phases))
+                    index = 1
+                plans.append(
+                    CrashPlan(kind=kind, phase=phase, index=index, kill=True)
+                )
+            schedule[target] = plans
+        return cls(schedule)
+
+    @classmethod
+    def explicit(cls, schedule):
+        """Build from ``{target: [spec, ...]}`` crash-spec strings (the
+        sweep tests pin exact phase/mid-phase boundaries this way)."""
+        return cls(
+            {
+                target: [CrashPlan.parse(spec, kill=True) for spec in specs]
+                for target, specs in schedule.items()
+            }
+        )
+
+    def spec_for(self, target, attempt):
+        """The ``--crash-at`` spec for a campaign's *attempt* (1-based),
+        or None once the target's schedule is spent (the attempt that
+        runs clean to completion)."""
+        plans = self.schedule.get(target, ())
+        if 1 <= attempt <= len(plans):
+            return plans[attempt - 1].spec()
+        return None
+
+    def total_kills(self):
+        return sum(len(plans) for plans in self.schedule.values())
+
+    def describe(self):
+        lines = []
+        for target, plans in self.schedule.items():
+            points = ", ".join(p.describe() for p in plans) or "(none)"
+            lines.append(f"{target}: {points}")
+        return "\n".join(lines)

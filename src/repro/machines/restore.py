@@ -32,3 +32,14 @@ def machine_from_manifest(config):
             machine, rate=config["flaky"], seed=config.get("fault_seed") or 0xFA17
         )
     return machine
+
+
+def machine_stats_classes():
+    """The facade-level observability dataclasses a checkpointed report
+    may carry (``report.machine_stats`` / ``report.fault_stats``).
+    Exposed here so the discovery package's portable codec can register
+    them without importing machine internals."""
+    from repro.machines.faults import FaultStats
+    from repro.machines.machine import MachineStats
+
+    return MachineStats, FaultStats

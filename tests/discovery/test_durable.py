@@ -3,12 +3,16 @@ corruption fallback, and serialisation fidelity.
 
 The crash-at-every-phase spec-identity sweep lives in
 ``test_crash_resume.py``; this file pins the storage layer itself --
-what a checkpoint file *is*, what survives corruption, and what rides
-the pickle (quarantine reasons, progress records, rng positions).
+what a checkpoint file *is*, what survives corruption, what rides the
+checkpoint (quarantine reasons, progress records, rng positions), and
+the portable-schema contract: the happy path never touches pickle,
+while schema-1 generations from the previous release still load.
 """
 
+import hashlib
 import json
 import pathlib
+import pickle
 
 import pytest
 
@@ -18,15 +22,20 @@ from repro.discovery.driver import (
     DiscoveryInterrupted,
     DiscoveryReport,
 )
+from repro.discovery import durable
 from repro.discovery.durable import (
     CHECKPOINT_SCHEMA,
     KEEP_GENERATIONS,
+    LEGACY_PICKLE_SCHEMA,
     MAGIC,
     DurableRun,
     PhaseProgress,
     chunked,
+    detach_runtime,
     freeze_checkpoint,
+    generation_schema,
     machine_from_config,
+    parse_envelope,
     run_config,
     thaw_checkpoint,
 )
@@ -329,6 +338,130 @@ def test_quarantine_stays_quarantined_across_resume(tmp_path):
     assert {"sample": "int_lit_34117", "reason": reason_at_crash} in (
         reference.quarantined
     )
+
+
+# -- the portable schema and the pickle-era fallback ---------------------
+
+
+def _legacy_blob(checkpoint):
+    """A schema-1 generation, byte-compatible with what the previous
+    release's ``freeze_checkpoint`` wrote (pickle body)."""
+    with detach_runtime(checkpoint):
+        payload = pickle.dumps(
+            {
+                "target": checkpoint.target,
+                "completed": list(checkpoint.completed),
+                "state": checkpoint.state,
+                "report": checkpoint.report,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    header = json.dumps(
+        {
+            "schema": LEGACY_PICKLE_SCHEMA,
+            "target": checkpoint.target,
+            "length": len(payload),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    return MAGIC + header + b"\n" + payload
+
+
+def test_checkpoint_body_is_portable_json_not_pickle():
+    blob = freeze_checkpoint(_small_checkpoint())
+    header, payload = parse_envelope(blob)
+    assert header["schema"] == CHECKPOINT_SCHEMA
+    assert header["format"] == "portable/1"
+    assert payload.startswith(b"{")  # canonical JSON, not a pickle opcode
+    json.loads(payload)  # parses as plain JSON
+
+
+def test_happy_path_performs_zero_pickle_loads(tmp_path):
+    """A run directory checkpointed by this build resumes without a
+    single pickle load -- the property that makes any worker on any
+    build able to adopt it."""
+    before = durable.LEGACY_PICKLE_LOADS
+    run = _mid_run_checkpoint(tmp_path)
+    checkpoint, warnings = run.load_checkpoint()
+    assert warnings == []
+    assert checkpoint is not None
+    assert durable.LEGACY_PICKLE_LOADS == before
+
+
+def test_equal_checkpoints_freeze_to_equal_bytes():
+    """Deterministic serialisation: the supervisor compares checkpoint
+    checksums across workers, so equal state must mean equal bytes."""
+    blob_a = freeze_checkpoint(_small_checkpoint())
+    blob_b = freeze_checkpoint(_small_checkpoint())
+    assert blob_a == blob_b
+
+
+def test_legacy_pickle_generation_still_loads(tmp_path):
+    run = DurableRun.attach(tmp_path / "run", {"target": "vax"})
+    blob = _legacy_blob(_small_checkpoint())
+    (run.directory / "ckpt-000001.bin").write_bytes(blob)
+    assert generation_schema(blob) == LEGACY_PICKLE_SCHEMA
+    before = durable.LEGACY_PICKLE_LOADS
+    checkpoint, warnings = run.load_checkpoint()
+    assert checkpoint is not None
+    assert checkpoint.completed == ["enquire", "assembler syntax"]
+    assert durable.LEGACY_PICKLE_LOADS == before + 1
+    assert any("migrate-run" in w for w in warnings)
+
+
+def test_unknown_future_schema_never_unpickles(tmp_path):
+    """Only the one known legacy schema gets the pickle path: a forged
+    schema-0 header must not reach ``pickle.loads``."""
+    run = DurableRun.attach(tmp_path / "run", {"target": "vax"})
+    blob = _legacy_blob(_small_checkpoint())
+    header, payload = parse_envelope(blob)
+    header["schema"] = 0
+    forged = (
+        MAGIC + json.dumps(header, sort_keys=True).encode() + b"\n" + payload
+    )
+    (run.directory / "ckpt-000001.bin").write_bytes(forged)
+    before = durable.LEGACY_PICKLE_LOADS
+    checkpoint, warnings = run.load_checkpoint()
+    assert checkpoint is None
+    assert durable.LEGACY_PICKLE_LOADS == before
+    assert any("schema" in w for w in warnings)
+
+
+def test_migrate_run_converts_legacy_to_portable(tmp_path, capsys):
+    from repro.__main__ import main
+
+    run = DurableRun.attach(tmp_path / "run", {"target": "vax", "schema": 1})
+    (run.directory / "ckpt-000001.bin").write_bytes(
+        _legacy_blob(_small_checkpoint())
+    )
+    assert main(["migrate-run", str(run.directory)]) == 0
+    out = capsys.readouterr().out
+    assert "migrated" in out
+
+    reopened = DurableRun.open(str(run.directory))
+    newest = reopened.generations()[-1].read_bytes()
+    assert generation_schema(newest) == CHECKPOINT_SCHEMA
+    before = durable.LEGACY_PICKLE_LOADS
+    checkpoint, warnings = reopened.load_checkpoint()
+    assert checkpoint is not None
+    assert checkpoint.completed == ["enquire", "assembler syntax"]
+    assert durable.LEGACY_PICKLE_LOADS == before  # pickle-free from now on
+    assert warnings == []
+    # Idempotent: a second migrate is a no-op.
+    assert main(["migrate-run", str(run.directory)]) == 0
+    assert "already schema" in capsys.readouterr().out
+
+
+def test_mid_run_checkpoint_is_cross_process_portable(tmp_path):
+    """Thaw a real mid-run checkpoint purely from bytes, freeze it
+    again, and land on identical bytes: no hidden live state."""
+    run = _mid_run_checkpoint(tmp_path)
+    blob = run.generations()[-1].read_bytes()
+    _, payload = parse_envelope(blob)
+    thawed = thaw_checkpoint(blob)
+    assert freeze_checkpoint(thawed) == blob
+    assert parse_envelope(freeze_checkpoint(thawed))[1] == payload
 
 
 # -- progress records ----------------------------------------------------
