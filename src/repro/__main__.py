@@ -11,12 +11,17 @@
                              [--max-attempts N] [--deadline SECONDS]
                              [--heartbeat-every S] [--lease-timeout S]
                              [--chaos-kills N --chaos-seed N]
+    python -m repro serve --root DIR [--host H --port P] [--fleet N]
+    python -m repro client --url URL submit <target>... [--wait]
+    python -m repro client --url URL status|wait|spec|cancel JOB_ID
+    python -m repro client --url URL stats|jobs
+    python -m repro cache-info DIR [--json]
     python -m repro migrate-run RUNDIR
     python -m repro retarget <target>... --program FILE.a
     python -m repro run <target> --program FILE.a
     python -m repro lint [<target>...] [--source PATH] [--format text|json|sarif]
                          [--fail-on error|warning|never] [--out FILE]
-    python -m repro targets
+    python -m repro targets [--json]
 
 Mirrors the paper's user story: the only inputs are the target machine
 ("its internet address") and the toolchain command lines -- here, the
@@ -49,6 +54,15 @@ portable checkpoints -- retry with backoff first, then escalate venue
 knobs, then quarantine with a typed failure record.  ``migrate-run``
 rewrites a run directory's newest checkpoint from the legacy pickle
 schema to the portable one.
+
+``serve`` runs discovery as a service: a stdlib HTTP/1.1 control plane
+fronting a persistent job queue, a worker fleet (one supervisor per
+job off one global budget) and a shared probe cache any worker --
+local or a remote ``discover --cache-url`` -- reads and writes over
+HTTP.  ``client`` is its CLI: submit campaigns, poll typed progress,
+fetch finished specs, cancel.  ``--workers auto`` (discover, campaign,
+client submit) sizes each worker's scheduler from measured per-verb
+round-trip latency -- a venue knob, so the spec cannot change.
 """
 
 from __future__ import annotations
@@ -59,7 +73,29 @@ import sys
 from repro.machines.machine import RemoteMachine, target_names
 
 
-def _cmd_targets(_args):
+def _cmd_targets(args):
+    if getattr(args, "json", False):
+        import json
+
+        from repro.discovery.cache import target_fingerprint
+
+        listing = []
+        for name in target_names():
+            machine = RemoteMachine(name)
+            toolchain = machine.toolchain
+            listing.append(
+                {
+                    "name": name,
+                    "host": toolchain.host,
+                    "cc": toolchain.cc,
+                    "asm": toolchain.asm,
+                    "ld": toolchain.ld,
+                    "fuel": machine.fuel,
+                    "fingerprint": target_fingerprint(machine),
+                }
+            )
+        print(json.dumps({"targets": listing}, indent=2, sort_keys=True))
+        return 0
     for name in target_names():
         machine = RemoteMachine(name)
         print(f"{name:8s} host={machine.toolchain.host} cc='{machine.toolchain.cc}'")
@@ -97,6 +133,21 @@ def _crash_plan(args):
     return CrashPlan.parse(args.crash_at, kill=args.crash_kill)
 
 
+def _discover_cache(args, config=None):
+    """The probe cache for a discover run: a service URL beats a local
+    directory (CLI flag beats manifest either way), --no-cache beats
+    everything."""
+    if args.no_cache:
+        return None
+    manifest = config or {}
+    url = args.cache_url or manifest.get("cache_url")
+    if url:
+        from repro.service.cache_client import RemoteProbeCache
+
+        return RemoteProbeCache(url)
+    return args.cache_dir or manifest.get("cache_dir")
+
+
 def _cmd_discover(args):
     from repro.discovery.driver import ArchitectureDiscovery, DiscoveryInterrupted
 
@@ -123,12 +174,17 @@ def _cmd_discover(args):
                 f"no loadable checkpoint in {args.resume}; starting from scratch",
                 file=sys.stderr,
             )
+        workers = args.workers
+        if workers is None and run.config.get("adaptive_workers"):
+            # The original run sized itself; the resumed run re-derives
+            # the same width from the manifest-recorded measurements.
+            workers = "auto"
         discovery = ArchitectureDiscovery(
             machine,
             seed=run.config.get("seed", args.seed),
             resilience=resilience,
-            workers=args.workers,
-            cache=run.config.get("cache_dir") if not args.no_cache else None,
+            workers=workers,
+            cache=_discover_cache(args, run.config),
             extract_procs=args.extract_procs,
             run_dir=run,
             crash_plan=_crash_plan(args),
@@ -139,15 +195,12 @@ def _cmd_discover(args):
             print("discover: a target (or --resume RUNDIR) is required", file=sys.stderr)
             return 2
         machine = _build_machine(args)
-        cache = None
-        if args.cache_dir and not args.no_cache:
-            cache = args.cache_dir
         discovery = ArchitectureDiscovery(
             machine,
             seed=args.seed,
             resilience=_resilience_config(args),
             workers=args.workers,
-            cache=cache,
+            cache=_discover_cache(args),
             extract_procs=args.extract_procs,
             run_dir=args.run_dir,
             crash_plan=_crash_plan(args),
@@ -231,6 +284,7 @@ def _cmd_campaign(args):
         policy=policy,
         seed=args.seed,
         cache_dir=args.cache_dir,
+        cache_url=args.cache_url,
         workers=args.workers,
         heartbeat_every=args.heartbeat_every,
         kill_plan=kill_plan,
@@ -351,6 +405,149 @@ def _cmd_lint(args):
     return 1 if merged.fails(args.fail_on) else 0
 
 
+def _cmd_cache_info(args):
+    import json
+
+    from repro.discovery.cache import cache_info
+
+    info = cache_info(args.directory)
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"probe cache at {info['directory']}:")
+    for shard in info["shards"]:
+        verbs = ", ".join(
+            f"{verb}={count}" for verb, count in sorted(shard["by_verb"].items())
+        )
+        print(
+            f"  {shard['fingerprint']:16s} {shard['entries']:6d} entries "
+            f"{shard['bytes']:9d} bytes "
+            f"corrupt={shard['corrupt_lines']}  [{verbs}]"
+        )
+    print(
+        f"  total: {info['total_entries']} entries, {info['total_bytes']} bytes, "
+        f"{info['total_corrupt_lines']} corrupt line(s) "
+        f"across {len(info['shards'])} shard(s)"
+    )
+    return 0
+
+
+def _cmd_serve(args):
+    from repro.service.app import DiscoveryService
+    from repro.service.httpd import serve
+
+    service = DiscoveryService(
+        args.root,
+        fleet=args.fleet,
+        cache_dir=args.cache_dir,
+        heartbeat_every=args.heartbeat_every,
+        lease_timeout=args.lease_timeout,
+        poll_interval=args.poll_interval,
+    )
+    server = serve(service, host=args.host, port=args.port)
+    adopted = service.adopt()
+    if adopted:
+        print(f"adopted {len(adopted)} open job(s): {', '.join(adopted)}")
+    service.start()
+    print(
+        f"discovery service listening on {server.url} "
+        f"(root {service.root}, fleet {service.fleet})",
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        service.stop()
+        server.server_close()
+    return 0
+
+
+def _client_progress_printer():
+    """A change-only progress line for ``client wait``: one line per
+    observed state transition, not one per poll."""
+    last = {"line": None}
+
+    def on_progress(status):
+        parts = []
+        for campaign in status.get("campaigns", []):
+            done = len(campaign["completed_phases"])
+            parts.append(
+                f"{campaign['target']} {campaign['state']}"
+                f"({done}/{campaign['phases_total']})"
+            )
+        line = f"{status['id']} {status['state']}: " + ", ".join(parts)
+        if line != last["line"]:
+            print(line, file=sys.stderr)
+            last["line"] = line
+
+    return on_progress
+
+
+def _client_wait(client, job_id, timeout):
+    from repro.service import jobs as jobstates
+
+    status = client.wait(
+        job_id, timeout=timeout, on_progress=_client_progress_printer()
+    )
+    return 0 if status["state"] == jobstates.DONE else 1
+
+
+def _cmd_client(args):
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.action == "submit":
+            job = client.submit(
+                args.targets,
+                seed=args.seed,
+                workers=args.workers,
+                max_attempts=args.max_attempts,
+                escalate_votes=args.escalate_votes,
+            )
+            print(json.dumps(job, indent=2, sort_keys=True))
+            if args.wait:
+                return _client_wait(client, job["id"], args.timeout)
+            return 0
+        if args.action == "status":
+            print(json.dumps(client.status(args.job), indent=2, sort_keys=True))
+            return 0
+        if args.action == "wait":
+            return _client_wait(client, args.job, args.timeout)
+        if args.action == "spec":
+            payload = client.spec(args.job)
+            if args.out:
+                import pathlib
+
+                outdir = pathlib.Path(args.out)
+                outdir.mkdir(parents=True, exist_ok=True)
+                for target, text in sorted(payload["specs"].items()):
+                    path = outdir / f"{target}.beg"
+                    path.write_text(text)
+                    print(f"wrote {path}")
+            else:
+                for target, text in sorted(payload["specs"].items()):
+                    print(text, end="")
+            return 0
+        if args.action == "cancel":
+            print(json.dumps(client.cancel(args.job), indent=2, sort_keys=True))
+            return 0
+        if args.action == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.action == "jobs":
+            print(json.dumps(client.jobs(), indent=2, sort_keys=True))
+            return 0
+        raise AssertionError(f"unhandled client action {args.action!r}")
+    except ServiceError as exc:
+        print(f"client error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _fault_rate(text):
     rate = float(text)
     if not 0.0 <= rate <= 1.0:
@@ -358,11 +555,29 @@ def _fault_rate(text):
     return rate
 
 
+def _workers_arg(text):
+    """``--workers N`` or ``--workers auto`` (measured sizing)."""
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer or 'auto', got {text!r}"
+        ) from None
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("targets", help="list the simulated machines")
+    p_targets = sub.add_parser("targets", help="list the simulated machines")
+    p_targets.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable listing: names, toolchain command lines "
+        "and the cache fingerprint each one hashes to",
+    )
 
     p_discover = sub.add_parser("discover", help="run architecture discovery")
     p_discover.add_argument("target", nargs="?", choices=target_names())
@@ -389,10 +604,11 @@ def main(argv=None):
     )
     p_discover.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=None,
-        metavar="N",
-        help="concurrent target connections (default: $REPRO_WORKERS or 1)",
+        metavar="N|auto",
+        help="concurrent target connections (default: $REPRO_WORKERS or 1); "
+        "'auto' sizes from measured verb latency after the enquire phase",
     )
     p_discover.add_argument(
         "--extract-procs",
@@ -407,6 +623,13 @@ def main(argv=None):
         default=None,
         metavar="PATH",
         help="persist probe results here; repeat runs skip remote verbs",
+    )
+    p_discover.add_argument(
+        "--cache-url",
+        default=None,
+        metavar="URL",
+        help="share a discovery service's probe cache over HTTP "
+        "(beats --cache-dir; see 'repro serve')",
     )
     p_discover.add_argument(
         "--no-cache",
@@ -490,8 +713,13 @@ def main(argv=None):
         help="shared probe cache for all workers",
     )
     p_campaign.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="target connections per worker (venue knob)",
+        "--cache-url", default=None, metavar="URL",
+        help="share a discovery service's probe cache over HTTP",
+    )
+    p_campaign.add_argument(
+        "--workers", type=_workers_arg, default=None, metavar="N|auto",
+        help="target connections per worker (venue knob); 'auto' sizes "
+        "each worker from measured verb latency",
     )
     p_campaign.add_argument(
         "--max-attempts", type=int, default=5, metavar="N",
@@ -539,6 +767,92 @@ def main(argv=None):
         help="rewrite a run directory's checkpoint to the portable schema",
     )
     p_migrate.add_argument("rundir", metavar="RUNDIR")
+
+    p_cache_info = sub.add_parser(
+        "cache-info", help="inventory a probe-cache directory's shards"
+    )
+    p_cache_info.add_argument("directory", metavar="DIR")
+    p_cache_info.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the discovery service (HTTP/JSON control plane)"
+    )
+    p_serve.add_argument(
+        "--root", required=True, metavar="DIR",
+        help="service state root: jobs/, campaigns/, cache/ live here",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0, metavar="P",
+        help="listen port (default: 0 = ephemeral, printed at startup)",
+    )
+    p_serve.add_argument(
+        "--fleet", type=int, default=2, metavar="N",
+        help="global concurrent worker budget across all jobs (default: 2)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="shared probe cache directory (default: ROOT/cache)",
+    )
+    p_serve.add_argument(
+        "--heartbeat-every", type=float, default=0.5, metavar="SECONDS",
+        help="worker lease heartbeat interval; 0 disables (default: 0.5)",
+    )
+    p_serve.add_argument(
+        "--lease-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="missed-lease window before a worker is declared wedged "
+        "(default: 10)",
+    )
+    p_serve.add_argument(
+        "--poll-interval", type=float, default=0.2, metavar="SECONDS",
+        help="fleet loop tick (default: 0.2)",
+    )
+
+    p_client = sub.add_parser(
+        "client", help="talk to a running discovery service"
+    )
+    p_client.add_argument(
+        "--url", required=True, metavar="URL", help="service base URL"
+    )
+    client_sub = p_client.add_subparsers(dest="action", required=True)
+    c_submit = client_sub.add_parser("submit", help="submit a campaign")
+    c_submit.add_argument("targets", nargs="+", choices=target_names())
+    c_submit.add_argument("--seed", type=int, default=None)
+    c_submit.add_argument(
+        "--workers", type=_workers_arg, default=None, metavar="N|auto"
+    )
+    c_submit.add_argument("--max-attempts", type=int, default=None, metavar="N")
+    c_submit.add_argument("--escalate-votes", type=int, default=None, metavar="N")
+    c_submit.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    c_submit.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up waiting after this long (the job keeps running)",
+    )
+    for action, help_text in (
+        ("status", "one job's typed status and per-target progress"),
+        ("wait", "poll a job until it reaches a terminal state"),
+        ("spec", "fetch a finished job's machine descriptions"),
+        ("cancel", "cancel a job"),
+    ):
+        c_action = client_sub.add_parser(action, help=help_text)
+        c_action.add_argument("job", metavar="JOB_ID")
+        if action == "wait":
+            c_action.add_argument(
+                "--timeout", type=float, default=None, metavar="SECONDS"
+            )
+        if action == "spec":
+            c_action.add_argument(
+                "--out", default=None, metavar="DIR",
+                help="write one <target>.beg per spec here instead of stdout",
+            )
+    client_sub.add_parser("stats", help="service queue/fleet/cache counters")
+    client_sub.add_parser("jobs", help="list every job record")
 
     p_retarget = sub.add_parser(
         "retarget", help="retarget ac and validate a program on each target"
@@ -595,6 +909,9 @@ def main(argv=None):
         "discover": _cmd_discover,
         "campaign": _cmd_campaign,
         "migrate-run": _cmd_migrate_run,
+        "cache-info": _cmd_cache_info,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
         "retarget": _cmd_retarget,
         "run": _cmd_run,
         "lint": _cmd_lint,

@@ -202,6 +202,33 @@ class ProbeCache:
         where = str(self.directory) if self.directory else "(in-memory)"
         return f"probe cache at {where}: {len(self._entries)} entries"
 
+    def shard_stats(self):
+        """Per-fingerprint entry/byte counts of the live store, plus
+        the lifetime counters (hits, misses, writes, LRU evictions,
+        corrupt entries).  The byte count prices the JSON payloads as
+        stored, so operators can see which target's answers dominate
+        the cache -- the number ``repro cache-info`` and the service
+        ``/stats`` endpoint report."""
+        with self._lock:
+            shards = {}
+            for key, payload in self._entries.items():
+                fingerprint, verb, _ = key.split(":", 2)
+                shard = shards.setdefault(
+                    fingerprint, {"entries": 0, "bytes": 0, "by_verb": {}}
+                )
+                shard["entries"] += 1
+                shard["bytes"] += len(json.dumps(payload))
+                shard["by_verb"][verb] = shard["by_verb"].get(verb, 0) + 1
+            return {
+                "shards": shards,
+                "entries": len(self._entries),
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "writes": self.stats.writes,
+                "evictions": self.stats.evictions,
+                "corrupt_entries": self.stats.corrupt_entries,
+            }
+
     def __len__(self):
         return len(self._entries)
 
@@ -438,3 +465,62 @@ def make_caching(machine, cache):
     if cache is None or isinstance(machine, CachingMachine):
         return machine
     return CachingMachine(machine, cache)
+
+
+# -- on-disk inspection ------------------------------------------------
+
+
+def cache_info(directory):
+    """Inventory of a probe-cache directory, without mutating it.
+
+    Walks every ``probes-<fingerprint>.jsonl`` shard and counts valid
+    entries, corrupt lines, bytes and the per-verb breakdown -- the
+    same numbers :meth:`ProbeCache.shard_stats` reports for a live
+    store, derived here purely from disk so ``repro cache-info`` and
+    the service ``/stats`` endpoint can describe a cache nobody
+    currently holds open."""
+    directory = pathlib.Path(directory)
+    shards = []
+    for path in sorted(directory.glob("probes-*.jsonl")):
+        fingerprint = path.stem[len("probes-") :]
+        entries = corrupt = 0
+        by_verb = {}
+        seen = set()
+        try:
+            lines = path.read_text().splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["k"]
+                if not isinstance(key, str) or not isinstance(entry["v"], dict):
+                    raise ValueError("malformed entry")
+            except (ValueError, KeyError, TypeError):
+                corrupt += 1
+                continue
+            if key in seen:  # append-only shards may repeat a key
+                continue
+            seen.add(key)
+            entries += 1
+            verb = entry.get("verb") or key.split(":")[1]
+            by_verb[verb] = by_verb.get(verb, 0) + 1
+        shards.append(
+            {
+                "fingerprint": fingerprint,
+                "file": path.name,
+                "bytes": path.stat().st_size if path.exists() else 0,
+                "entries": entries,
+                "corrupt_lines": corrupt,
+                "by_verb": by_verb,
+            }
+        )
+    return {
+        "directory": str(directory),
+        "shards": shards,
+        "total_entries": sum(s["entries"] for s in shards),
+        "total_bytes": sum(s["bytes"] for s in shards),
+        "total_corrupt_lines": sum(s["corrupt_lines"] for s in shards),
+    }

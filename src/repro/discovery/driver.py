@@ -71,6 +71,7 @@ from repro.discovery.mutation import MutationEngine
 from repro.discovery.preprocess import Preprocessor
 from repro.discovery.resilience import ResilienceConfig, make_resilient
 from repro.discovery.scheduler import ProbeScheduler, TargetConnectionPool
+from repro.discovery.sizing import choose_workers, sample_verb_latency, sizing_record
 from repro.discovery.syntax import DiscoveredSyntax
 from repro.discovery.synthesize import Synthesizer
 from repro.errors import DiscoveryError, TargetError
@@ -311,7 +312,14 @@ class ArchitectureDiscovery:
         self.cache = cache
         self.machine = make_caching(self.machine, cache)
         if workers is None:
-            workers = int(os.environ.get("REPRO_WORKERS", "1"))
+            workers = os.environ.get("REPRO_WORKERS", "1")
+        # "auto" defers the venue choice to measured verb latency: the
+        # scheduler starts single-connection and is resized right after
+        # the enquire phase (see _apply_adaptive_sizing).  Workers are a
+        # venue knob, so adaptation can never change the spec.
+        self.adaptive_workers = workers == "auto"
+        self._sized = False
+        workers = 1 if self.adaptive_workers else int(workers)
         self.workers = max(1, workers)
         # The primary connection serves the sequential phases; workers
         # get one cloned connection each (per-connection counters, fault
@@ -372,6 +380,10 @@ class ArchitectureDiscovery:
             report.notes.append(self._pool_note)
         self._report, self._completed, self._state = report, completed, state
         clock = _Clock(report)
+        if "enquire" in completed:
+            # Resumed past the sizing point: re-derive (never re-measure)
+            # the worker count from the recorded samples.
+            self._apply_adaptive_sizing(state)
 
         try:
             for name, method in self.PHASES:
@@ -397,6 +409,10 @@ class ArchitectureDiscovery:
                         name, exc, checkpoint, checkpoint_path=path
                     ) from exc
                 completed.append(name)
+                if name == "enquire":
+                    # Size the scheduler while the link is freshly
+                    # characterised, before the first fan-out phase.
+                    self._apply_adaptive_sizing(state)
                 self._commit()
                 self._crash_point("after", name)
         except KeyboardInterrupt:
@@ -437,6 +453,62 @@ class ArchitectureDiscovery:
                 for s in report.corpus.samples
                 if s.discarded and s.discarded.startswith("quarantined")
             ]
+
+    # -- adaptive sizing ----------------------------------------------
+
+    def _apply_adaptive_sizing(self, state):
+        """Pick the scheduler's concurrency from measured verb latency
+        (``workers="auto"``).
+
+        The decision is made exactly once per run: a fresh run measures
+        a few fixed probe round-trips, a resumed or adopted run
+        re-derives the same worker count from the samples recorded in
+        the run manifest (or the checkpoint state) -- never by
+        re-measuring, so the venue stays stable across resumes even if
+        the link changed underneath.
+        """
+        if not self.adaptive_workers or self._sized:
+            return
+        self._sized = True
+        record = None
+        if self.durable is not None:
+            record = self.durable.config.get("adaptive_sizing")
+        if record is None:
+            record = state.get("adaptive_sizing")
+        if record is not None:
+            samples = record.get("samples_ms", {})
+        else:
+            samples = sample_verb_latency(self.machine)
+        workers = choose_workers(samples)
+        record = sizing_record(samples, workers)
+        state["adaptive_sizing"] = record
+        if self.durable is not None:
+            self.durable.config["adaptive_sizing"] = record
+            self.durable.config["workers"] = workers
+            self.durable._write_manifest()
+        note = (
+            f"adaptive sizing: median round trip "
+            f"{record['median_round_trip_ms']:.3f}ms -> {workers} worker(s)"
+        )
+        if note not in self._report.notes:
+            self._report.notes.append(note)
+        self._resize_scheduler(workers)
+
+    def _resize_scheduler(self, workers):
+        """Tear down the connection pool and scheduler and rebuild them
+        at the new width.  Safe between phases: the scheduler is always
+        drained at phase boundaries, and aggregate counters are read
+        from the pool only in :meth:`_finalise` (the new pool re-wraps
+        the same underlying machine stack, so cache and retry state
+        carry over untouched)."""
+        workers = max(1, int(workers))
+        if workers == self.workers:
+            return
+        self.scheduler.close()
+        self.workers = workers
+        pool_size = workers + 1 if workers > 1 else 1
+        self.pool, self._pool_note = TargetConnectionPool.open(self.machine, pool_size)
+        self.scheduler = ProbeScheduler(self.pool, workers)
 
     # -- crash durability helpers -------------------------------------
 

@@ -89,6 +89,13 @@ KEEP_GENERATIONS = 2
 
 RUN_MANIFEST = "run.json"
 
+#: lightweight progress sidecar, rewritten atomically at every commit.
+#: Like the lease it is runtime state: outside the generation glob,
+#: never read by the loader, carrying nothing spec-affecting -- it
+#: exists so the service control plane (and ``repro client status``)
+#: can report typed progress without thawing a full checkpoint body.
+PROGRESS_FILE = "progress.json"
+
 
 class CheckpointCorrupt(DiscoveryError):
     """One checkpoint generation failed validation (the loader falls
@@ -109,6 +116,7 @@ def run_config(discovery):
         "ri_budget": discovery.ri_budget,
         "use_likelihood": discovery.use_likelihood,
         "workers": discovery.workers,
+        "adaptive_workers": getattr(discovery, "adaptive_workers", False),
         "extract_procs": discovery.extractor.procs,
         "extract_memo": discovery.extractor.memo_enabled,
         "checkpoint_every": discovery.checkpoint_every,
@@ -119,13 +127,16 @@ def run_config(discovery):
         "max_retries": None,
         "votes": None,
         "cache_dir": None,
+        "cache_url": None,
     }
     if discovery.resilience is not None:
         config["max_retries"] = discovery.resilience.max_retries
         config["votes"] = discovery.resilience.votes
     cache = discovery.cache
-    if cache is not None and cache.directory is not None:
+    if cache is not None and getattr(cache, "directory", None) is not None:
         config["cache_dir"] = str(cache.directory)
+    if cache is not None and getattr(cache, "url", None) is not None:
+        config["cache_url"] = str(cache.url)
     layer = discovery.machine
     while layer is not None:
         plan = getattr(layer, "plan", None)
@@ -391,7 +402,8 @@ class DurableRun:
         """Durably publish a checkpoint as the newest generation, then
         prune generations beyond :data:`KEEP_GENERATIONS`."""
         blob = freeze_checkpoint(checkpoint)
-        path = self.directory / f"ckpt-{self._next_generation():06d}.bin"
+        generation = self._next_generation()
+        path = self.directory / f"ckpt-{generation:06d}.bin"
         self._atomic_write(path, blob)
         self.commits += 1
         for stale in self.generations()[:-KEEP_GENERATIONS]:
@@ -399,7 +411,39 @@ class DurableRun:
                 stale.unlink()
             except OSError:
                 pass
+        self._write_progress(checkpoint, generation)
         return path
+
+    def _write_progress(self, checkpoint, generation):
+        """The :data:`PROGRESS_FILE` sidecar: completed phases plus
+        per-phase completion-record counts, cheap enough to rewrite on
+        every commit and cheap enough for a control plane to poll."""
+        records = checkpoint.state.get("progress") or {}
+        payload = {
+            "target": checkpoint.target,
+            "generation": generation,
+            "completed": list(checkpoint.completed),
+            "phase_records": {
+                phase: len(store) for phase, store in sorted(records.items())
+            },
+        }
+        try:
+            self._atomic_write(
+                self.directory / PROGRESS_FILE,
+                (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
+                    "utf-8"
+                ),
+            )
+        except OSError:
+            pass  # progress is advisory; never fail a commit over it
+
+    def read_progress(self):
+        """The progress sidecar as a dict, or None (pre-sidecar run
+        directories, torn writes)."""
+        try:
+            return json.loads((self.directory / PROGRESS_FILE).read_text())
+        except (OSError, ValueError):
+            return None
 
     # -- loading -------------------------------------------------------
 

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import base64
 import json
+import math
 import random
 
 from repro.errors import DiscoveryError
@@ -221,6 +222,12 @@ class _Freezer:
         return ref
 
     def freeze(self, obj):
+        if isinstance(obj, float) and not math.isfinite(obj):
+            # Strict JSON has no NaN/Infinity literals; a tagged leaf
+            # keeps canonical payloads parseable by any JSON reader
+            # (the service API ships checkpoint-adjacent payloads to
+            # foreign clients) while round-tripping the value exactly.
+            return {TAG: "f", "v": repr(obj)}
         if obj is None or isinstance(obj, (bool, int, str, float)):
             return obj
         ref = self.memo.get(id(obj))
@@ -266,8 +273,18 @@ class _Freezer:
 
 
 def freeze(obj):
-    """Encode an object graph into the portable JSON-safe structure."""
-    return _Freezer().freeze(obj)
+    """Encode an object graph into the portable JSON-safe structure.
+
+    Raises :class:`PortableError` (never a bare ``RecursionError``) on
+    graphs nested beyond the interpreter's recursion limit: a payload
+    the codec cannot commit to thawing is rejected with a typed error
+    instead of a torn stack."""
+    try:
+        return _Freezer().freeze(obj)
+    except RecursionError as exc:
+        raise PortableError(
+            "object graph is nested too deeply to encode portably"
+        ) from exc
 
 
 # -- thawing ------------------------------------------------------------
@@ -311,6 +328,13 @@ class _Thawer:
                 return out
             if tag == "b":
                 return base64.b64decode(data["b64"])
+            if tag == "f":
+                value = float(data["v"])
+                if math.isfinite(value):
+                    raise PortableError(
+                        f"finite float {data['v']!r} under the non-finite tag"
+                    )
+                return value
             if tag == "rng":
                 # seedless is sound here: setstate() on the next line
                 # overwrites the OS-entropy state with the frozen one
@@ -334,8 +358,16 @@ class _Thawer:
 
 
 def thaw(data):
-    """Decode :func:`freeze` output back into the object graph."""
-    return _Thawer().thaw(data)
+    """Decode :func:`freeze` output back into the object graph.
+
+    Malformed payloads -- including ones nested beyond the recursion
+    limit -- raise :class:`PortableError`, never an untyped crash."""
+    try:
+        return _Thawer().thaw(data)
+    except RecursionError as exc:
+        raise PortableError(
+            "payload is nested too deeply to decode portably"
+        ) from exc
 
 
 # -- canonical bytes ----------------------------------------------------
@@ -348,9 +380,19 @@ def canonical_bytes(data):
     so equal structures yield equal bytes on every build; dict entry
     order is data (the ``e`` pair list), not key order, so sorting is
     safe."""
-    return json.dumps(
-        data, sort_keys=True, separators=(",", ":"), ensure_ascii=True
-    ).encode("ascii")
+    try:
+        return json.dumps(
+            data,
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+            allow_nan=False,
+        ).encode("ascii")
+    except ValueError as exc:
+        # allow_nan=False rejects any non-finite float that slipped
+        # through untagged -- a typed error beats emitting "NaN", which
+        # strict JSON readers (and the service's clients) cannot parse.
+        raise PortableError(f"payload is not strict JSON: {exc}") from exc
 
 
 def from_canonical(blob):
@@ -359,6 +401,10 @@ def from_canonical(blob):
         return json.loads(blob.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as exc:
         raise PortableError(f"payload is not canonical JSON: {exc}") from exc
+    except RecursionError as exc:
+        raise PortableError(
+            "payload is nested too deeply to parse"
+        ) from exc
 
 
 def dumps(obj):

@@ -1,0 +1,150 @@
+"""Adaptive worker sizing: pick scheduler concurrency from measured
+verb latency.
+
+Discovery wall-clock is dominated by target round-trips, and the right
+number of concurrent connections depends on how long one round trip
+takes: against a local or cache-warm target a single connection is
+optimal (threads only add overhead), while against a slow link the
+scheduler should fan wide.  Today that knob is a fixed ``--workers``
+the operator must guess per deployment; at service scale -- many
+campaigns against many targets behind different links -- nobody is
+there to guess.
+
+This module measures instead: :func:`sample_verb_latency` times a few
+fixed probe round-trips through the *same machine stack discovery
+uses* (resilience and probe cache included, so a warm cache correctly
+measures as "no remote cost"), and :func:`choose_workers` maps the
+measurements onto a bounded concurrency ladder.  Two properties keep
+this compatible with the determinism contract:
+
+* **Workers are a venue knob.**  The discovered spec is bit-for-bit
+  identical for any worker count (pinned since PR 2), so a latency
+  measurement -- inherently wall-clock -- may choose the venue without
+  touching the outcome.
+* **The decision is replayable.**  The measured samples are recorded
+  in the run manifest and the checkpoint state; a resumed or adopted
+  run re-derives the same worker count from the recorded numbers via
+  the pure function :func:`choose_workers` instead of re-measuring.
+  An explicit ``--workers N`` always wins over adaptation.
+
+The probe contents are fixed (three numbered variants per verb chain),
+so a second run against a warm shared cache answers every sizing probe
+from the cache: adaptation never breaks the warm-rerun-issues-zero-
+remote-verbs guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import DiscoveryError, TargetError
+
+#: how many fixed probe chains to time (each is compile+assemble+link+
+#: execute, so the sample set is 4*SIZING_ROUNDS verb round trips)
+SIZING_ROUNDS = 3
+
+#: the concurrency ladder: (median round-trip milliseconds upper bound,
+#: workers).  Below a quarter millisecond the target is effectively
+#: local (or the cache is warm) and threads cost more than they hide;
+#: the top rung is bounded so a pathological measurement cannot demand
+#: an unbounded fleet.
+LADDER = (
+    (0.25, 1),
+    (1.5, 2),
+    (6.0, 4),
+    (float("inf"), 8),
+)
+
+#: hard bounds on whatever the ladder (or a caller's override) picks
+MIN_WORKERS = 1
+MAX_WORKERS = 8
+
+
+def _probe_source(round_index):
+    """A tiny, fixed C program per sizing round.  The constant varies
+    per round so a cold cache sees three genuine misses (measuring the
+    real link), while a warm cache answers all of them locally."""
+    return (
+        "main(){ printf(\"%i\\n\", " + str(41 + round_index) + "); exit(0); }"
+    )
+
+
+def sample_verb_latency(machine, rounds=SIZING_ROUNDS):
+    """Per-verb wall-clock samples, in milliseconds.
+
+    Issues *rounds* fixed compile -> assemble -> link -> execute chains
+    through *machine* (whatever stack it is: resilience, fault
+    injection and cache layers included) and times each verb.  Returns
+    ``{verb: [ms, ...]}``.  Probe failures degrade to an empty sample
+    set -- sizing then falls back to one worker -- rather than failing
+    the run: sizing is advisory, discovery is not.
+    """
+    samples = {"compile": [], "assemble": [], "link": [], "execute": []}
+    try:
+        for index in range(max(1, rounds)):
+            source = _probe_source(index)
+            start = time.perf_counter()
+            asm = machine.compile_c(source)
+            samples["compile"].append((time.perf_counter() - start) * 1000.0)
+            start = time.perf_counter()
+            obj = machine.assemble(asm)
+            samples["assemble"].append((time.perf_counter() - start) * 1000.0)
+            start = time.perf_counter()
+            exe = machine.link([obj])
+            samples["link"].append((time.perf_counter() - start) * 1000.0)
+            start = time.perf_counter()
+            machine.execute(exe)
+            samples["execute"].append((time.perf_counter() - start) * 1000.0)
+    except (DiscoveryError, TargetError):
+        return {verb: [] for verb in samples}
+    return samples
+
+
+def _median(values):
+    values = sorted(values)
+    if not values:
+        return 0.0
+    middle = len(values) // 2
+    if len(values) % 2:
+        return values[middle]
+    return (values[middle - 1] + values[middle]) / 2.0
+
+
+def median_round_trip_ms(samples_ms):
+    """The sizing signal: the median of each verb's median latency.
+    Medians twice over shrugs off one slow outlier (a GC pause, a
+    retried fault) without needing many probes."""
+    per_verb = [
+        _median(values) for values in samples_ms.values() if values
+    ]
+    return _median(per_verb)
+
+
+def choose_workers(samples_ms, floor=MIN_WORKERS, ceiling=MAX_WORKERS):
+    """Map measured verb latency onto the concurrency ladder.
+
+    A pure function of the sample dict: equal measurements always yield
+    equal worker counts, which is what lets a resumed run re-derive the
+    decision from manifest-recorded numbers.  Empty samples (probe
+    failure, or a stack that answered nothing) land on the floor."""
+    median_ms = median_round_trip_ms(samples_ms)
+    workers = LADDER[-1][1]
+    for bound_ms, rung in LADDER:
+        if median_ms <= bound_ms:
+            workers = rung
+            break
+    return max(floor, min(ceiling, workers))
+
+
+def sizing_record(samples_ms, workers):
+    """The manifest/checkpoint payload for one sizing decision: the raw
+    measurements (rounded so the record is compact and stable to
+    serialise) plus the derived worker count and the signal."""
+    return {
+        "samples_ms": {
+            verb: [round(ms, 4) for ms in values]
+            for verb, values in sorted(samples_ms.items())
+        },
+        "median_round_trip_ms": round(median_round_trip_ms(samples_ms), 4),
+        "workers": workers,
+    }

@@ -71,6 +71,10 @@ WAITING = "waiting"  # backoff before the next attempt
 DONE = "done"
 QUARANTINED = "quarantined"
 INCOMPLETE = "incomplete"
+CANCELLED = "cancelled"
+
+#: states a campaign can still move out of
+OPEN_STATES = (PENDING, WAITING, RUNNING)
 
 #: failure classifications for the typed failure record
 CRASH = "crash"  # unclean death (signal): adoptable
@@ -256,9 +260,11 @@ class CampaignSupervisor:
         policy=None,
         seed=1997,
         cache_dir=None,
+        cache_url=None,
         workers=None,
         heartbeat_every=None,
         kill_plan=None,
+        worker_args=(),
         echo=print,
     ):
         if not targets:
@@ -268,9 +274,13 @@ class CampaignSupervisor:
         self.policy = policy or CampaignPolicy()
         self.seed = seed
         self.cache_dir = cache_dir
+        self.cache_url = cache_url
         self.workers = workers
         self.heartbeat_every = heartbeat_every
         self.kill_plan = kill_plan
+        #: extra argv appended to *fresh* worker launches only (resumed
+        #: workers take their configuration from the run manifest)
+        self.worker_args = list(worker_args)
         self.echo = echo
         self.campaigns = [Campaign(t, self.root / t) for t in targets]
         self.started = None  # monotonic, set by run()
@@ -294,6 +304,9 @@ class CampaignSupervisor:
             ]
             if self.cache_dir:
                 argv += ["--cache-dir", str(self.cache_dir)]
+            if self.cache_url:
+                argv += ["--cache-url", str(self.cache_url)]
+            argv += self.worker_args
         argv += ["--out", str(campaign.out_dir)]
         if self.workers is not None:
             argv += ["--workers", str(self.workers)]
@@ -323,7 +336,46 @@ class CampaignSupervisor:
 
     # -- lifecycle -------------------------------------------------------
 
+    def _reap_orphan(self, campaign):
+        """Kill a worker left over from a dead supervisor.
+
+        A service restart adopts run directories whose previous
+        supervisor died -- but that supervisor's *workers* are separate
+        processes and may still be alive, heartbeating into the run
+        directory.  Two writers on one run directory is the only thing
+        the lease protocol cannot survive, so before adopting we kill
+        the pid the lease names.  The kill is gated on the process
+        table naming our run directory in the candidate's command line
+        (where the platform exposes it), so a recycled pid is never
+        shot by mistake."""
+        lease = read_lease(campaign.run_dir)
+        pid = lease.get("pid") if lease else None
+        if not isinstance(pid, int) or pid == os.getpid():
+            return
+        try:
+            os.kill(pid, 0)
+        except OSError:
+            return  # no such process: the lease is just stale
+        try:
+            cmdline = pathlib.Path(f"/proc/{pid}/cmdline").read_bytes()
+            if str(campaign.run_dir).encode() not in cmdline:
+                return  # a recycled pid belonging to someone else
+        except OSError:
+            pass  # no /proc: fall through on the lease's word alone
+        self.echo(
+            f"[{campaign.target}] reaping orphan worker pid {pid} "
+            f"before adoption"
+        )
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except OSError:
+            pass
+
     def _launch(self, campaign):
+        if campaign.attempts == 0 and (campaign.run_dir / "run.json").exists():
+            # First launch by *this* supervisor onto a pre-existing run
+            # directory: an orphaned worker may still hold it.
+            self._reap_orphan(campaign)
         campaign.attempts += 1
         for directory in (campaign.out_dir, campaign.log_dir):
             directory.mkdir(parents=True, exist_ok=True)
@@ -518,9 +570,64 @@ class CampaignSupervisor:
         ]
 
     def _open(self):
-        return [
-            c for c in self.campaigns if c.state in (PENDING, WAITING, RUNNING)
-        ]
+        return [c for c in self.campaigns if c.state in OPEN_STATES]
+
+    def poll(self, slots=None):
+        """One supervision step, safe to interleave with other
+        supervisors (the service drives many of these off one fleet
+        budget): reap exited workers, check leases on the live ones,
+        then launch runnable campaigns while fewer than *slots* (default
+        this supervisor's own fleet cap) are running.  Returns the
+        number of campaigns running afterwards."""
+        if self.started is None:
+            self.started = time.monotonic()
+            self.root.mkdir(parents=True, exist_ok=True)
+        for campaign in self._active():
+            returncode = campaign.process.poll()
+            if returncode is not None:
+                self._handle_exit(campaign, returncode)
+            else:
+                self._check_lease(campaign)
+        capacity = self.fleet if slots is None else slots
+        for campaign in self._runnable():
+            if len(self._active()) >= capacity:
+                break
+            self._launch(campaign)
+        return len(self._active())
+
+    def expire(self, reason="deadline exhausted"):
+        """Deadline/budget exhaustion: kill the active workers and mark
+        every open campaign incomplete (with partial spec)."""
+        for campaign in self._open():
+            self._mark_incomplete(campaign, reason)
+
+    def cancel(self, reason="cancelled"):
+        """Client-requested teardown: SIGKILL active workers, mark every
+        open campaign cancelled.  Run directories stay adoptable -- a
+        cancelled campaign is one ``--resume`` from continuing."""
+        for campaign in self._open():
+            if campaign.process is not None:
+                try:
+                    os.kill(campaign.process.pid, signal.SIGKILL)
+                except OSError:
+                    pass
+                campaign.process.wait()
+                campaign.process = None
+            campaign.state = CANCELLED
+            self.echo(f"[{campaign.target}] cancelled ({reason})")
+
+    def finalise(self):
+        """The per-campaign outcome summary, durably written to
+        ROOT/summary.json."""
+        summary = {
+            "campaigns": [c.summary() for c in self.campaigns],
+            "ok": all(c.state == DONE for c in self.campaigns),
+        }
+        _atomic_write(
+            self.root / "summary.json",
+            (json.dumps(summary, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+        )
+        return summary
 
     def run(self):
         """Supervise until every campaign reaches a terminal state.
@@ -532,27 +639,9 @@ class CampaignSupervisor:
                 self.policy.deadline is not None
                 and time.monotonic() - self.started > self.policy.deadline
             ):
-                for campaign in self._open():
-                    self._mark_incomplete(campaign, "deadline exhausted")
+                self.expire()
                 break
-            for campaign in self._runnable():
-                if len(self._active()) >= self.fleet:
-                    break
-                self._launch(campaign)
-            for campaign in self._active():
-                returncode = campaign.process.poll()
-                if returncode is not None:
-                    self._handle_exit(campaign, returncode)
-                else:
-                    self._check_lease(campaign)
+            self.poll()
             if self._open():
                 time.sleep(self.policy.poll_interval)
-        summary = {
-            "campaigns": [c.summary() for c in self.campaigns],
-            "ok": all(c.state == DONE for c in self.campaigns),
-        }
-        _atomic_write(
-            self.root / "summary.json",
-            (json.dumps(summary, indent=2, sort_keys=True) + "\n").encode("utf-8"),
-        )
-        return summary
+        return self.finalise()

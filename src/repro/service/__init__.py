@@ -1,0 +1,49 @@
+"""Discovery-as-a-service: the HTTP/JSON control plane.
+
+The paper's retargeting story is a loop a person runs by hand: point
+discovery at a target, wait, collect the machine description.  PR 6
+made that loop unattended for one operator (the campaign supervisor);
+this package makes it *shared*: one long-lived service owns the fleet,
+the probe cache and the run directories, and any number of clients
+submit campaigns, poll typed progress and fetch finished specs over
+plain HTTP/1.1 + JSON -- stdlib only, one process, no new daemons'
+worth of dependencies.
+
+The pieces, bottom up:
+
+* :mod:`repro.service.jobs` -- the persistent job queue.  A job is a
+  JSON file; the queue survives service death, and a restarted service
+  re-adopts every non-terminal job (its workers' run directories are
+  one ``--resume`` from continuing, exactly like any other crash).
+* :mod:`repro.service.app` -- :class:`~repro.service.app.
+  DiscoveryService`, the HTTP-free core: a fleet loop that drives one
+  :class:`~repro.discovery.supervisor.CampaignSupervisor` per running
+  job off a single global worker budget, plus the shared
+  :class:`~repro.discovery.cache.ProbeCache` every campaign warms for
+  the next one.
+* :mod:`repro.service.httpd` -- the thin HTTP skin (``repro serve``).
+* :mod:`repro.service.cache_client` -- :class:`~repro.service.
+  cache_client.RemoteProbeCache`, the worker-side mirror of the cache
+  API: any ``repro discover --cache-url URL`` anywhere shares the
+  service's warm entries.
+* :mod:`repro.service.client` -- :class:`~repro.service.client.
+  ServiceClient` and the ``repro client`` CLI: submit, poll with
+  backoff, fetch specs, cancel.
+
+Everything spec-affecting stays in the workers: the service only ever
+touches venue knobs (scheduling, caching, worker sizing), so a spec
+fetched over HTTP is bit-for-bit the spec a direct ``repro discover``
+of the same target and seed would print.
+"""
+
+from repro.service.app import DiscoveryService
+from repro.service.cache_client import RemoteProbeCache
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobStore
+
+__all__ = [
+    "DiscoveryService",
+    "JobStore",
+    "RemoteProbeCache",
+    "ServiceClient",
+]

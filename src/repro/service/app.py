@@ -1,0 +1,356 @@
+"""The discovery service core: jobs in, specs out, one shared cache.
+
+:class:`DiscoveryService` is the HTTP-free heart of ``repro serve``.
+It owns three things:
+
+* the :class:`~repro.service.jobs.JobStore` (the durable queue),
+* one :class:`~repro.discovery.supervisor.CampaignSupervisor` per
+  *running* job, all driven off a single global worker budget by
+  :meth:`step` (the fleet loop), and
+* the shared :class:`~repro.discovery.cache.ProbeCache` every worker
+  reads and writes through the ``/cache`` endpoints -- the service
+  process is the only writer of the shard files, so N workers can
+  share one cache without two-writer torn lines.
+
+Crash story: the service holds **no state the disk does not**.  Jobs
+are JSON files, campaign progress lives in the workers' run
+directories (checkpoints + the ``progress.json`` sidecar), and the
+cache is write-through JSONL.  :meth:`adopt` -- called at every start
+-- lists the open jobs and rebuilds their supervisors; the supervisors
+in turn re-adopt half-finished run directories over the ordinary
+``--resume`` path (reaping any orphaned worker first), so a campaign
+interrupted by service death completes with a spec bit-for-bit
+identical to an uninterrupted one.
+
+The split from :mod:`repro.service.httpd` is deliberate: everything
+here is callable in-process (the tests drive it without sockets), and
+everything HTTP is a thin translation layer that can never hold state
+worth losing.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import threading
+
+from repro.discovery.cache import ProbeCache, cache_info
+from repro.discovery.durable import PROGRESS_FILE
+from repro.discovery.supervisor import DONE as CAMPAIGN_DONE
+from repro.discovery.supervisor import CampaignPolicy, CampaignSupervisor
+from repro.service import jobs as jobstates
+from repro.service.jobs import JobError, JobStore
+
+
+def _read_json(path):
+    import json
+
+    try:
+        return json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+class DiscoveryService:
+    """The control plane: a durable job queue fronting a worker fleet.
+
+    ``fleet`` is the *global* concurrent-worker budget: jobs run
+    side by side, each supervisor launching into whatever slots the
+    earlier-submitted jobs left free this tick (FIFO by job id, so a
+    big job cannot be starved by later arrivals)."""
+
+    def __init__(
+        self,
+        root,
+        fleet=2,
+        cache_dir=None,
+        heartbeat_every=0.5,
+        lease_timeout=10.0,
+        poll_interval=0.2,
+        echo=print,
+    ):
+        self.root = pathlib.Path(root)
+        self.fleet = max(1, fleet)
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir else self.root / "cache"
+        self.cache = ProbeCache(self.cache_dir)
+        self.heartbeat_every = heartbeat_every
+        self.lease_timeout = lease_timeout
+        self.poll_interval = poll_interval
+        self.echo = echo
+        self.jobs = JobStore(self.root)
+        #: the advertised ``--cache-url``; the HTTP layer sets it once
+        #: the listening socket is bound (workers need a real port)
+        self.cache_url = None
+        self._supervisors = {}  # job id -> CampaignSupervisor, FIFO
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._thread = None
+
+    # -- job lifecycle -------------------------------------------------
+
+    def submit(self, payload):
+        """Validate and enqueue one campaign submission (the body of
+        ``POST /campaigns``); the fleet loop picks it up next tick."""
+        from repro.machines.machine import target_names
+
+        if not isinstance(payload, dict):
+            raise JobError("submission body must be a JSON object")
+        targets = payload.get("targets")
+        knobs = {k: payload[k] for k in jobstates.SUBMIT_KNOBS if k in payload}
+        bogus = sorted(set(payload) - set(jobstates.SUBMIT_KNOBS) - {"targets"})
+        if bogus:
+            raise JobError(
+                f"unknown option(s): {', '.join(bogus)} "
+                f"(allowed: targets, {', '.join(jobstates.SUBMIT_KNOBS)})"
+            )
+        job = self.jobs.submit(targets, known_targets=target_names(), **knobs)
+        self.echo(f"[{job['id']}] queued: {', '.join(job['targets'])}")
+        return job
+
+    def adopt(self):
+        """Re-arm every non-terminal job after a restart.  Supervisors
+        re-adopt half-finished run directories via ``--resume``; jobs
+        that never launched simply queue again."""
+        adopted = []
+        with self._lock:
+            for job in self.jobs.open_jobs():
+                self._ensure_supervisor(job)
+                adopted.append(job["id"])
+        for job_id in adopted:
+            self.echo(f"[{job_id}] adopted from a previous service run")
+        return adopted
+
+    def cancel(self, job_id, reason="client cancel"):
+        """Tear a job down: SIGKILL its live workers, mark every open
+        campaign cancelled, finalise the summary.  Run directories stay
+        on disk (a cancelled campaign is adoptable by a future job only
+        via operator surgery; the *job* is terminal)."""
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job["state"] in jobstates.TERMINAL_STATES:
+                raise JobError(f"{job_id} is already {job['state']}")
+            supervisor = self._supervisors.pop(job_id, None)
+            detail = None
+            if supervisor is not None:
+                supervisor.cancel(reason=reason)
+                detail = supervisor.finalise()
+            job = self.jobs.update(
+                job_id, state=jobstates.CANCELLED, detail=detail
+            )
+        self.echo(f"[{job_id}] cancelled ({reason})")
+        return job
+
+    # -- the fleet loop ------------------------------------------------
+
+    def step(self):
+        """One control-plane tick: promote queued jobs, give every
+        running job's supervisor a chance to reap/launch within the
+        global budget, retire finished jobs.  Returns the number of
+        worker processes running afterwards."""
+        with self._lock:
+            for job in self.jobs.open_jobs():
+                if job["state"] == jobstates.QUEUED:
+                    self._ensure_supervisor(job)
+            running = 0
+            for job_id in list(self._supervisors):
+                supervisor = self._supervisors[job_id]
+                before = len(supervisor._active())
+                free = max(0, self.fleet - self._active_workers())
+                after = supervisor.poll(slots=before + free)
+                if not supervisor._open():
+                    self._retire(job_id, supervisor)
+                else:
+                    running += after
+            return running
+
+    def run_loop(self):
+        """The fleet loop, until :meth:`stop` (the thread target)."""
+        while not self._stop.is_set():
+            self.step()
+            self._stop.wait(self.poll_interval)
+
+    def start(self):
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self.run_loop, name="fleet-loop", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, kill_workers=True):
+        """Stop the fleet loop.  Active workers are SIGKILLed but their
+        jobs' states are left *running* on disk: a restarted service
+        adopts and completes them (this is the restart e2e contract)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if not kill_workers:
+            return
+        with self._lock:
+            for supervisor in self._supervisors.values():
+                for campaign in supervisor._active():
+                    if campaign.process is None:
+                        continue
+                    try:
+                        os.kill(campaign.process.pid, signal.SIGKILL)
+                    except OSError:
+                        pass
+                    campaign.process.wait()
+        self.cache.close()
+
+    # -- reads ---------------------------------------------------------
+
+    def status(self, job_id):
+        """Typed job status: the job record plus one progress entry per
+        campaign, derived from the live supervisor when this service is
+        running the job and from the run directories' ``progress.json``
+        sidecars either way -- so status works for adopted, finished
+        and crashed jobs alike."""
+        from repro.discovery.driver import ArchitectureDiscovery
+
+        job = self.jobs.get(job_id)
+        phases_total = len(ArchitectureDiscovery.PHASES)
+        with self._lock:
+            supervisor = self._supervisors.get(job_id)
+            live = (
+                {c.target: c for c in supervisor.campaigns} if supervisor else {}
+            )
+            campaigns = []
+            for target in job["targets"]:
+                home = self._job_root(job_id) / target
+                progress = _read_json(home / "run" / PROGRESS_FILE) or {}
+                campaign = live.get(target)
+                if campaign is not None:
+                    state = campaign.state
+                    attempts = campaign.attempts
+                else:
+                    state, attempts = self._disk_state(job, home, target)
+                spec = home / "out" / f"{target}.beg"
+                campaigns.append(
+                    {
+                        "target": target,
+                        "state": state,
+                        "attempts": attempts,
+                        "completed_phases": progress.get("completed", []),
+                        "phases_total": phases_total,
+                        "phase_records": progress.get("phase_records", {}),
+                        "spec": str(spec) if spec.exists() else None,
+                    }
+                )
+        out = dict(job)
+        out["campaigns"] = campaigns
+        return out
+
+    def spec(self, job_id):
+        """The finished specs, ``{target: beg-text}``.  Only a ``done``
+        job has them all; anything else is a client error the HTTP
+        layer turns into a 409."""
+        job = self.jobs.get(job_id)
+        if job["state"] != jobstates.DONE:
+            raise JobError(
+                f"{job_id} is {job['state']}, not {jobstates.DONE}; "
+                f"no specs to fetch"
+            )
+        specs = {}
+        for target in job["targets"]:
+            path = self._job_root(job_id) / target / "out" / f"{target}.beg"
+            try:
+                specs[target] = path.read_text()
+            except OSError:
+                raise JobError(f"{job_id}: spec artifact {path} is missing") from None
+        return {"id": job_id, "specs": specs}
+
+    def stats(self):
+        """The ``/stats`` payload: queue composition, fleet load, and
+        the shared cache priced both live (this process's store and
+        counters) and from disk (the shard inventory ``repro
+        cache-info`` prints)."""
+        by_state = {}
+        for job in self.jobs.list():
+            by_state[job["state"]] = by_state.get(job["state"], 0) + 1
+        with self._lock:
+            active = self._active_workers()
+            supervised = sorted(self._supervisors)
+        return {
+            "jobs": by_state,
+            "fleet": self.fleet,
+            "active_workers": active,
+            "running_jobs": supervised,
+            "cache": self.cache.shard_stats(),
+            "cache_disk": cache_info(self.cache_dir),
+        }
+
+    # -- the shared cache ----------------------------------------------
+
+    def cache_get(self, fingerprint, key):
+        verb, _, content_hash = key.partition(":")
+        if not verb or not content_hash:
+            raise JobError(f"cache key must be <verb>:<content-hash>, got {key!r}")
+        return self.cache.get(fingerprint, verb, content_hash)
+
+    def cache_put(self, fingerprint, key, payload):
+        verb, _, content_hash = key.partition(":")
+        if not verb or not content_hash:
+            raise JobError(f"cache key must be <verb>:<content-hash>, got {key!r}")
+        if not isinstance(payload, dict):
+            raise JobError("cache payload must be a JSON object")
+        self.cache.put(fingerprint, verb, content_hash, payload)
+
+    # -- internals -----------------------------------------------------
+
+    def _job_root(self, job_id):
+        return self.root / "campaigns" / job_id
+
+    def _active_workers(self):
+        return sum(len(s._active()) for s in self._supervisors.values())
+
+    def _ensure_supervisor(self, job):
+        job_id = job["id"]
+        if job_id in self._supervisors:
+            return self._supervisors[job_id]
+        policy = CampaignPolicy(
+            max_attempts=job.get("max_attempts") or 5,
+            escalate_votes=job.get("escalate_votes"),
+            lease_timeout=self.lease_timeout,
+            poll_interval=self.poll_interval,
+        )
+        supervisor = CampaignSupervisor(
+            job["targets"],
+            self._job_root(job_id),
+            fleet=self.fleet,
+            policy=policy,
+            seed=job.get("seed", 1997),
+            cache_url=self.cache_url,
+            workers=job.get("workers"),
+            heartbeat_every=self.heartbeat_every,
+            echo=lambda msg, job_id=job_id: self.echo(f"[{job_id}] {msg}"),
+        )
+        self._supervisors[job_id] = supervisor
+        if job["state"] == jobstates.QUEUED:
+            self.jobs.update(job_id, state=jobstates.RUNNING)
+        return supervisor
+
+    def _retire(self, job_id, supervisor):
+        summary = supervisor.finalise()
+        del self._supervisors[job_id]
+        state = jobstates.DONE if summary["ok"] else jobstates.FAILED
+        self.jobs.update(job_id, state=state, detail=summary)
+        self.echo(f"[{job_id}] {state}")
+
+    def _disk_state(self, job, home, target):
+        """A campaign's state when no live supervisor holds it: derived
+        from the artifacts on disk, same precedence the supervisor's
+        own terminal paths write them."""
+        if (home / "out" / f"{target}.beg").exists():
+            return CAMPAIGN_DONE, None
+        failure = _read_json(home / "failure.json")
+        if failure is not None:
+            return failure.get("state", "quarantined"), failure.get("attempts")
+        incomplete = _read_json(home / "incomplete.json")
+        if incomplete is not None:
+            return incomplete.get("state", "incomplete"), incomplete.get("attempts")
+        if job["state"] in jobstates.TERMINAL_STATES:
+            return job["state"], None
+        return "pending", None

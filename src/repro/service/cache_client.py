@@ -1,0 +1,166 @@
+"""Worker-side client for the service's shared probe cache.
+
+:class:`RemoteProbeCache` mirrors the :class:`~repro.discovery.cache.
+ProbeCache` surface the :class:`~repro.discovery.cache.CachingMachine`
+consumes -- ``get``/``put``/``stats``/``describe``/``close`` -- but
+answers over HTTP from the service's store instead of a local
+directory.  That makes the cache *shared across processes and hosts*:
+the first campaign against a target warms it, and every later worker
+(in the service's own fleet or a remote ``repro discover
+--cache-url``) gets the warm entries, so a repeat campaign issues zero
+remote probe verbs no matter which worker runs it.
+
+Two writers on one JSONL shard directory would tear lines; routing
+every worker through the service makes the service process the *only*
+writer of its shard files, which is why ``--cache-url`` exists instead
+of pointing N workers at one ``--cache-dir`` over a shared mount.
+
+The cache stays advisory: a miss is the worst a broken service can
+inflict.  Request failures count as misses, and after a few
+consecutive failures the client stops calling out entirely (discovery
+proceeds uncached rather than paying a connect timeout per probe).
+Caching is a venue knob, so none of this can change the discovered
+spec.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import urllib.parse
+
+from repro.discovery.cache import CacheStats
+
+#: consecutive transport failures before the client gives up on the
+#: service for the rest of the run (each probe then misses locally)
+MAX_TRANSPORT_FAILURES = 3
+
+#: per-request timeout: a cache round trip should be far cheaper than
+#: the probe it replaces, or it is not worth waiting for
+REQUEST_TIMEOUT = 10.0
+
+
+class RemoteProbeCache:
+    """A ProbeCache lookalike backed by ``GET/PUT /cache/...``.
+
+    Thread-safe the same way the local cache is: every worker thread
+    gets its own keep-alive :class:`http.client.HTTPConnection`
+    (connections are not shareable mid-response; counters are guarded
+    by one lock).  Cloned connections share the one instance, exactly
+    like clones share a local ProbeCache.
+    """
+
+    def __init__(self, url, timeout=REQUEST_TIMEOUT):
+        parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
+        if parsed.scheme not in ("", "http"):
+            raise ValueError(f"cache url must be http://, got {url!r}")
+        self.url = f"http://{parsed.netloc}"
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        self.stats = CacheStats()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._transport_failures = 0
+        self._disabled = False
+
+    # -- the store surface (what CachingMachine calls) -----------------
+
+    def get(self, fingerprint, verb, content_hash):
+        payload = self._request(
+            "GET", f"/cache/{fingerprint}/{verb}:{content_hash}"
+        )
+        with self._lock:
+            if isinstance(payload, dict):
+                self.stats.hits += 1
+                by = self.stats.hits_by_verb
+            else:
+                self.stats.misses += 1
+                by = self.stats.misses_by_verb
+            by[verb] = by.get(verb, 0) + 1
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, fingerprint, verb, content_hash, payload):
+        body = json.dumps(payload).encode("utf-8")
+        status = self._request(
+            "PUT", f"/cache/{fingerprint}/{verb}:{content_hash}", body=body
+        )
+        if status is not None:
+            with self._lock:
+                self.stats.writes += 1
+
+    def close(self):
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def describe(self):
+        state = " (disabled after transport failures)" if self._disabled else ""
+        return (
+            f"remote probe cache at {self.url}{state}: "
+            f"{self.stats.hits} hits, {self.stats.misses} misses"
+        )
+
+    # -- transport -----------------------------------------------------
+
+    def _connection(self):
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.conn = conn
+        return conn
+
+    def _request(self, method, path, body=None):
+        """One round trip.  Returns the decoded JSON body for a 200, a
+        truthy marker for 2xx without a body, and None for a 404 or any
+        transport failure (both read as a miss)."""
+        if self._disabled:
+            return None
+        headers = {}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        try:
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            except (http.client.HTTPException, OSError):
+                # One reconnect attempt: a keep-alive connection the
+                # server idled out looks like a send failure.
+                conn.close()
+                self._local.conn = None
+                conn = self._connection()
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+        except (http.client.HTTPException, OSError):
+            self._note_transport_failure()
+            return None
+        with self._lock:
+            self._transport_failures = 0
+        if response.status == 200:
+            try:
+                return json.loads(data)
+            except ValueError:
+                return None
+        if 200 <= response.status < 300:
+            return True
+        return None  # 404 and friends: a miss
+
+    def _note_transport_failure(self):
+        try:
+            self.close()
+        except OSError:
+            pass
+        with self._lock:
+            self._transport_failures += 1
+            if (
+                self._transport_failures >= MAX_TRANSPORT_FAILURES
+                and not self._disabled
+            ):
+                self._disabled = True

@@ -1,0 +1,174 @@
+"""The HTTP/1.1 skin over :class:`~repro.service.app.DiscoveryService`.
+
+Stdlib :class:`~http.server.ThreadingHTTPServer` + JSON bodies; every
+route is a thin translation onto a service method, and every error is
+a typed JSON envelope ``{"error": {"code", "message"}}`` with the
+matching status code -- clients never parse tracebacks.
+
+Routes::
+
+    GET    /healthz                         liveness (no service state)
+    GET    /stats                           queue/fleet/cache counters
+    POST   /campaigns                       submit {targets, seed?, workers?, ...}
+    GET    /campaigns                       all job records
+    GET    /campaigns/<id>                  typed status + per-target progress
+    GET    /campaigns/<id>/spec             finished specs {target: beg}
+    DELETE /campaigns/<id>                  cancel
+    GET    /cache/<fingerprint>/<verb>:<hash>   shared probe cache read
+    PUT    /cache/<fingerprint>/<verb>:<hash>   shared probe cache write
+
+Keep-alive matters here: the worker-side cache client issues one
+request per probe verb, and reconnecting per probe would cost more
+than the probe.  The handler therefore speaks ``HTTP/1.1`` and always
+sends ``Content-Length``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.jobs import JobError
+
+#: request bodies above this are refused (a probe payload is ~1 KB; a
+#: submission is smaller -- anything huge is a mistake or a hostile)
+MAX_BODY = 8 * 1024 * 1024
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """One listening socket, one :class:`DiscoveryService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    #: cache traffic is thousands of tiny request/response pairs per
+    #: campaign; Nagle + delayed ACK would add ~40ms to each
+    disable_nagle_algorithm = True
+
+    def __init__(self, address, service):
+        super().__init__(address, ServiceHandler)
+        self.service = service
+
+    @property
+    def url(self):
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1"
+    #: fully buffered writes (the stdlib default is *unbuffered*, one
+    #: TCP segment per header line); handle_one_request flushes per
+    #: response, so status + headers + body leave as one segment
+    wbufsize = -1
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the service echo's job, not stderr's
+
+    @property
+    def service(self):
+        return self.server.service
+
+    def _send(self, status, payload):
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
+            "utf-8"
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status, code, message):
+        self._send(status, {"error": {"code": code, "message": str(message)}})
+
+    def _body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY:
+            raise JobError(f"request body too large ({length} bytes)")
+        if length == 0:
+            return None
+        data = self.rfile.read(length)
+        try:
+            return json.loads(data)
+        except ValueError as exc:
+            raise JobError(f"request body is not valid JSON: {exc}") from None
+
+    def _route(self, method):
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        parts = [p for p in path.split("/") if p]
+        try:
+            handler = self._resolve(method, parts)
+            if handler is None:
+                return self._error(404, "not_found", f"no route {method} {path}")
+            handler()
+        except JobError as exc:
+            status = 404 if "no such job" in str(exc) else 400
+            if "no specs to fetch" in str(exc) or "already" in str(exc):
+                status = 409
+            self._error(status, "job_error", exc)
+        except Exception as exc:  # noqa: BLE001 - boundary: never drop the socket
+            self._error(500, "internal", exc)
+
+    def _resolve(self, method, parts):
+        if method == "GET":
+            if parts == ["healthz"]:
+                return lambda: self._send(200, {"ok": True})
+            if parts == ["stats"]:
+                return lambda: self._send(200, self.service.stats())
+            if parts == ["campaigns"]:
+                return lambda: self._send(
+                    200, {"jobs": self.service.jobs.list()}
+                )
+            if len(parts) == 2 and parts[0] == "campaigns":
+                return lambda: self._send(200, self.service.status(parts[1]))
+            if len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "spec":
+                return lambda: self._send(200, self.service.spec(parts[1]))
+            if len(parts) == 3 and parts[0] == "cache":
+                return lambda: self._cache_get(parts[1], parts[2])
+        elif method == "POST":
+            if parts == ["campaigns"]:
+                return lambda: self._send(201, self.service.submit(self._body()))
+        elif method == "PUT":
+            if len(parts) == 3 and parts[0] == "cache":
+                return lambda: self._cache_put(parts[1], parts[2])
+        elif method == "DELETE":
+            if len(parts) == 2 and parts[0] == "campaigns":
+                return lambda: self._send(200, self.service.cancel(parts[1]))
+        return None
+
+    # -- cache bodies (raw-ish: payload only, no envelope) -------------
+
+    def _cache_get(self, fingerprint, key):
+        payload = self.service.cache_get(fingerprint, key)
+        if payload is None:
+            return self._error(404, "cache_miss", f"{fingerprint}/{key}")
+        self._send(200, payload)
+
+    def _cache_put(self, fingerprint, key):
+        self.service.cache_put(fingerprint, key, self._body())
+        self._send(200, {"ok": True})
+
+    # -- verbs ---------------------------------------------------------
+
+    def do_GET(self):
+        self._route("GET")
+
+    def do_POST(self):
+        self._route("POST")
+
+    def do_PUT(self):
+        self._route("PUT")
+
+    def do_DELETE(self):
+        self._route("DELETE")
+
+
+def serve(service, host="127.0.0.1", port=0):
+    """Bind the control plane and advertise the cache URL to workers.
+    Returns the server; the caller owns ``serve_forever``."""
+    server = ServiceServer((host, port), service)
+    service.cache_url = server.url
+    return server

@@ -1,0 +1,202 @@
+"""Adversarial coverage for the portable checkpoint codec: the inputs
+a hostile (or merely unlucky) payload can contain must either round-
+trip exactly or fail with a typed :class:`PortableError` -- never a
+bare RecursionError, a ``NaN`` literal a strict JSON reader chokes on,
+or a torn object graph.
+"""
+
+import json
+import math
+import sys
+
+import pytest
+
+from repro.discovery.durable import DurableRun
+from repro.discovery.portable import (
+    TAG,
+    PortableError,
+    canonical_bytes,
+    dumps,
+    freeze,
+    from_canonical,
+    loads,
+    thaw,
+)
+
+# -- non-finite floats ---------------------------------------------------
+
+
+@pytest.mark.parametrize("value", [float("nan"), float("inf"), float("-inf")])
+def test_nonfinite_floats_round_trip(value):
+    thawed = loads(dumps({"x": value, "seq": [value]}))
+    if math.isnan(value):
+        assert math.isnan(thawed["x"]) and math.isnan(thawed["seq"][0])
+    else:
+        assert thawed["x"] == value and thawed["seq"][0] == value
+
+
+def test_nonfinite_floats_stay_strict_json():
+    """The canonical bytes must parse under a reader with no NaN
+    extension -- that is the whole point of the tagged leaf."""
+    blob = dumps([float("nan"), float("inf")])
+    strict = json.loads(blob, parse_constant=lambda name: pytest.fail(name))
+    assert b"NaN" not in blob and b"Infinity" not in blob
+    assert strict  # parsed without hitting a constant literal
+
+
+def test_untagged_nonfinite_is_refused_by_canonical_bytes():
+    """A raw non-finite that bypassed freeze() is a typed error, not a
+    silently emitted non-strict literal."""
+    with pytest.raises(PortableError, match="strict JSON"):
+        canonical_bytes({"x": float("nan")})
+
+
+def test_tampered_finite_value_under_nonfinite_tag_is_refused():
+    with pytest.raises(PortableError, match="finite float"):
+        thaw({TAG: "f", "v": "3.14"})
+
+
+def test_garbage_under_nonfinite_tag_is_typed():
+    with pytest.raises(PortableError, match="malformed"):
+        thaw({TAG: "f", "v": "not-a-float"})
+
+
+# -- pathological nesting ------------------------------------------------
+
+
+def _deep_list(depth):
+    obj = leaf = []
+    for _ in range(depth):
+        leaf.append([])
+        leaf = leaf[0]
+    return obj
+
+
+def test_too_deep_graph_is_a_typed_freeze_error():
+    with pytest.raises(PortableError, match="nested too deeply"):
+        freeze(_deep_list(sys.getrecursionlimit() + 100))
+
+
+def test_too_deep_payload_is_a_typed_thaw_error():
+    node = {TAG: "t", "e": []}
+    for _ in range(sys.getrecursionlimit() + 100):
+        node = {TAG: "t", "e": [node]}
+    with pytest.raises(PortableError, match="nested too deeply"):
+        thaw(node)
+
+
+def test_too_deep_json_text_is_a_typed_parse_error():
+    blob = (b"[" * 200000) + (b"]" * 200000)
+    with pytest.raises(PortableError):
+        from_canonical(blob)
+
+
+def test_moderately_deep_graphs_still_round_trip():
+    depth = 50
+    assert loads(dumps(_deep_list(depth))) == _deep_list(depth)
+
+
+# -- shared references and cycles ----------------------------------------
+
+
+def test_shared_objects_stay_shared():
+    shared = {"registers": ["r0", "r1"]}
+    graph = {"a": shared, "b": shared, "order": [shared]}
+    thawed = loads(dumps(graph))
+    assert thawed["a"] == shared
+    assert thawed["a"] is thawed["b"]
+    assert thawed["a"] is thawed["order"][0]
+
+
+def test_cycles_round_trip():
+    node = {"name": "loop"}
+    node["self"] = node
+    thawed = loads(dumps(node))
+    assert thawed["self"] is thawed
+    assert thawed["name"] == "loop"
+
+
+def test_mutual_cycle_round_trips():
+    a, b = {"tag": "a"}, {"tag": "b"}
+    a["peer"], b["peer"] = b, a
+    thawed = loads(dumps([a, b]))
+    first, second = thawed
+    assert first["peer"] is second and second["peer"] is first
+
+
+def test_equal_but_distinct_objects_stay_distinct():
+    graph = [{"x": 1}, {"x": 1}]
+    thawed = loads(dumps(graph))
+    assert thawed[0] == thawed[1]
+    assert thawed[0] is not thawed[1]
+
+
+def test_dangling_reference_is_typed():
+    with pytest.raises(PortableError, match="malformed"):
+        thaw({TAG: "r", "i": 404})
+
+
+# -- malformed payload shapes --------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {"plain": "dict"},  # untagged node
+        {TAG: "zz"},  # unknown tag
+        {TAG: "o", "t": "no.such.class", "i": 0, "s": {TAG: "d", "i": 1, "e": []}},
+        {TAG: "b", "b64": "!!! not base64 !!!"},
+        {TAG: "l"},  # tagged but missing its fields
+    ],
+)
+def test_malformed_nodes_are_typed_errors(payload):
+    with pytest.raises(PortableError):
+        thaw(payload)
+
+
+def test_bare_list_is_refused():
+    with pytest.raises(PortableError, match="bare list"):
+        thaw([1, 2, 3])
+
+
+def test_non_json_bytes_are_typed():
+    with pytest.raises(PortableError):
+        from_canonical(b"\xff\xfe not json")
+
+
+# -- determinism ---------------------------------------------------------
+
+def test_dumps_is_deterministic_across_dict_insertion_histories():
+    one = {"b": 2}
+    one["a"] = 1  # insertion order b, a -- order is data for dicts
+    two = {"b": 2, "a": 1}
+    assert dumps(one) == dumps(two)
+    assert dumps({1, 2, 3}) == dumps({3, 2, 1})  # set order canonicalised
+
+
+# -- the empty campaign --------------------------------------------------
+
+
+def test_empty_campaign_checkpoint_round_trips(tmp_path):
+    """A checkpoint with nothing in it yet (the state right after a
+    run directory is created, before any phase completes) must survive
+    commit and load -- the emptiest payload the codec ever carries."""
+    from repro.discovery.driver import (
+        ArchitectureDiscovery,
+        DiscoveryCheckpoint,
+        DiscoveryReport,
+    )
+    from repro.machines.machine import RemoteMachine
+
+    discovery = ArchitectureDiscovery(
+        RemoteMachine("vax"), run_dir=tmp_path / "run"
+    )
+    empty = DiscoveryCheckpoint(
+        target="vax", completed=[], report=DiscoveryReport("vax"), state={}
+    )
+    discovery.durable.commit(empty)
+    reloaded, warnings = DurableRun.open(tmp_path / "run").load_checkpoint()
+    assert reloaded is not None, warnings
+    assert reloaded.completed == []
+    assert reloaded.target == "vax"
+    assert reloaded.state == {}

@@ -1,0 +1,179 @@
+"""Adaptive worker sizing: the pure ladder, live measurement through
+the real machine stack, the driver's post-enquire resize, and the
+resume contract (re-derive the recorded decision, never re-measure)."""
+
+import json
+
+import pytest
+
+import repro.discovery.driver as driver_module
+from repro.discovery.driver import ArchitectureDiscovery
+from repro.discovery.durable import DurableRun
+from repro.discovery.sizing import (
+    LADDER,
+    MAX_WORKERS,
+    MIN_WORKERS,
+    SIZING_ROUNDS,
+    choose_workers,
+    median_round_trip_ms,
+    sample_verb_latency,
+    sizing_record,
+)
+from repro.machines.machine import RemoteMachine
+
+# -- the pure decision function ------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "median_ms,expected",
+    [
+        (0.0, 1),  # cache-warm / empty samples land on the floor
+        (0.1, 1),
+        (0.25, 1),  # rung bounds are inclusive
+        (0.26, 2),
+        (1.5, 2),
+        (3.0, 4),
+        (6.0, 4),
+        (50.0, 8),
+        (1e9, 8),  # a pathological link cannot demand an unbounded fleet
+    ],
+)
+def test_ladder_maps_latency_to_bounded_workers(median_ms, expected):
+    samples = {"execute": [median_ms]}
+    assert choose_workers(samples) == expected
+
+
+def test_empty_samples_fall_back_to_one_worker():
+    assert choose_workers({}) == MIN_WORKERS
+    assert choose_workers({"compile": [], "execute": []}) == MIN_WORKERS
+
+
+def test_caller_bounds_override_the_ladder():
+    slow = {"execute": [100.0]}
+    assert choose_workers(slow, ceiling=4) == 4
+    fast = {"execute": [0.01]}
+    assert choose_workers(fast, floor=2) == 2
+
+
+def test_ladder_is_monotonic_and_bounded():
+    rungs = [rung for _, rung in LADDER]
+    assert rungs == sorted(rungs)
+    assert rungs[0] == MIN_WORKERS
+    assert rungs[-1] == MAX_WORKERS
+
+
+def test_median_of_medians_shrugs_off_one_outlier():
+    samples = {
+        "compile": [1.0, 1.0, 400.0],  # one GC pause
+        "assemble": [1.0, 1.0, 1.0],
+        "link": [1.0, 1.0, 1.0],
+        "execute": [1.0, 1.0, 1.0],
+    }
+    assert median_round_trip_ms(samples) == 1.0
+    assert choose_workers(samples) == 2
+
+
+def test_equal_samples_yield_equal_decisions():
+    """The replayability property resume depends on."""
+    samples = {"execute": [2.2, 1.9, 2.4]}
+    assert choose_workers(samples) == choose_workers(json.loads(json.dumps(samples)))
+
+
+def test_sizing_record_is_compact_and_json_safe():
+    record = sizing_record({"execute": [1.23456789]}, workers=2)
+    assert record == {
+        "samples_ms": {"execute": [1.2346]},
+        "median_round_trip_ms": 1.2346,
+        "workers": 2,
+    }
+    json.dumps(record)  # must serialise into manifest/checkpoint as-is
+
+
+# -- live measurement ----------------------------------------------------
+
+
+def test_sample_verb_latency_measures_the_real_stack():
+    samples = sample_verb_latency(RemoteMachine("vax"))
+    assert sorted(samples) == ["assemble", "compile", "execute", "link"]
+    for verb, values in samples.items():
+        assert len(values) == SIZING_ROUNDS, verb
+        assert all(ms >= 0.0 for ms in values), verb
+
+
+def test_probe_failure_degrades_to_empty_samples():
+    class BrokenMachine:
+        def compile_c(self, source):
+            from repro.errors import TargetError
+
+            raise TargetError("link down")
+
+    samples = sample_verb_latency(BrokenMachine())
+    assert all(values == [] for values in samples.values())
+    assert choose_workers(samples) == MIN_WORKERS
+
+
+# -- the driver integration ----------------------------------------------
+
+
+def test_auto_workers_records_decision_and_keeps_spec_identical(tmp_path):
+    cache = str(tmp_path / "cache")
+    reference = ArchitectureDiscovery(
+        RemoteMachine("vax"), workers=1, cache=cache
+    ).run()
+    run_dir = tmp_path / "run"
+    discovery = ArchitectureDiscovery(
+        RemoteMachine("vax"), workers="auto", cache=cache, run_dir=run_dir
+    )
+    report = discovery.run()
+    # the spec is a venue-independent artifact
+    assert report.spec.render_beg() == reference.spec.render_beg()
+    # the decision is durable: manifest carries samples + derived count
+    manifest = json.loads((run_dir / "run.json").read_text())
+    record = manifest["adaptive_sizing"]
+    assert record["workers"] == choose_workers(record["samples_ms"])
+    assert manifest["workers"] == record["workers"]
+    assert manifest["adaptive_workers"] is True
+    assert discovery.workers == record["workers"]
+    assert any(
+        note.startswith("adaptive sizing") for note in report.notes
+    ), report.notes
+
+
+def test_resume_re_derives_without_re_measuring(tmp_path, monkeypatch):
+    """An adopted/resumed run must reuse the recorded measurement --
+    wall clock is not replayable, the recorded decision is."""
+    cache = str(tmp_path / "cache")
+    run_dir = tmp_path / "run"
+    first = ArchitectureDiscovery(
+        RemoteMachine("vax"), workers="auto", cache=cache, run_dir=run_dir
+    )
+    first_report = first.run()
+    recorded = json.loads((run_dir / "run.json").read_text())["adaptive_sizing"]
+
+    def _must_not_measure(machine, rounds=None):
+        raise AssertionError("resume re-measured instead of re-deriving")
+
+    monkeypatch.setattr(
+        driver_module, "sample_verb_latency", _must_not_measure
+    )
+    run = DurableRun.open(run_dir)
+    checkpoint, _warnings = run.load_checkpoint()
+    assert checkpoint is not None
+    resumed = ArchitectureDiscovery(
+        RemoteMachine("vax"), workers="auto", cache=cache, run_dir=run
+    )
+    resumed_report = resumed.run(resume=checkpoint)
+    assert resumed.workers == recorded["workers"]
+    assert resumed_report.spec.render_beg() == first_report.spec.render_beg()
+
+
+def test_explicit_workers_beat_adaptation(tmp_path):
+    discovery = ArchitectureDiscovery(
+        RemoteMachine("vax"), workers=2, cache=str(tmp_path / "cache")
+    )
+    assert not discovery.adaptive_workers
+    report = discovery.run()
+    assert discovery.workers == 2
+    assert not any(
+        note.startswith("adaptive sizing") for note in report.notes
+    )

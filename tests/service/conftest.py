@@ -1,0 +1,102 @@
+"""Shared fixtures for the discovery-service acceptance tests.
+
+One in-process service stack (real HTTP socket on localhost, real fleet
+loop, real worker subprocesses) is shared by the whole session, as are
+the uninterrupted reference specs every identity assertion compares
+against.  The restart test builds its own service *subprocess* instead
+-- killing the shared one would sabotage every other test.
+"""
+
+import pathlib
+import threading
+
+import pytest
+
+from repro.discovery.driver import ArchitectureDiscovery
+from repro.machines.machine import RemoteMachine
+from repro.service.app import DiscoveryService
+from repro.service.client import ServiceClient
+from repro.service.httpd import serve
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: two targets so the fleet genuinely runs campaigns side by side
+TARGETS = ["vax", "mips"]
+
+_QUIET = lambda *args, **kwargs: None  # noqa: E731
+
+
+@pytest.fixture(scope="session")
+def ref_cache(tmp_path_factory):
+    """A probe cache warmed by the reference runs (reused to keep the
+    subprocess restart test warm; never shared with the live service's
+    own cache, whose miss counters the warm-campaign test pins)."""
+    return str(tmp_path_factory.mktemp("ref-cache"))
+
+
+@pytest.fixture(scope="session")
+def ref_specs(ref_cache):
+    """Uninterrupted direct-discovery specs, byte-for-byte as the
+    service's workers must reproduce them."""
+    specs = {}
+    for target in TARGETS:
+        report = ArchitectureDiscovery(
+            RemoteMachine(target), workers=1, cache=ref_cache
+        ).run()
+        specs[target] = report.spec.render_beg() + "\n"
+    return specs
+
+
+class ServiceStack:
+    """The running service plus everything a test needs to poke it."""
+
+    def __init__(self, service, server, client):
+        self.service = service
+        self.server = server
+        self.client = client
+
+    @property
+    def url(self):
+        return self.server.url
+
+
+@pytest.fixture(scope="session")
+def stack(tmp_path_factory):
+    """A live service: HTTP listener on an OS-assigned localhost port,
+    fleet loop running, empty job queue and cold cache."""
+    root = tmp_path_factory.mktemp("service-root")
+    service = DiscoveryService(
+        root,
+        fleet=2,
+        heartbeat_every=0.2,
+        lease_timeout=30.0,
+        poll_interval=0.05,
+        echo=_QUIET,
+    )
+    server = serve(service, port=0)
+    http_thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.05},
+        name="test-httpd",
+        daemon=True,
+    )
+    http_thread.start()
+    service.start()
+    yield ServiceStack(service, server, ServiceClient(server.url))
+    server.shutdown()
+    service.stop()
+    server.server_close()
+    http_thread.join(timeout=5.0)
+
+
+@pytest.fixture(scope="session")
+def finished_job(stack, ref_specs):
+    """One two-target campaign submitted over HTTP and driven to a
+    terminal state, with every polled status kept for the progress
+    assertions.  Returns ``(final_status, observed_statuses)``."""
+    job = stack.client.submit(TARGETS, workers="auto")
+    observed = []
+    final = stack.client.wait(
+        job["id"], timeout=600, on_progress=observed.append
+    )
+    return final, observed

@@ -1,0 +1,105 @@
+"""RemoteProbeCache unit coverage: the ProbeCache surface over HTTP,
+counter parity, and the give-up-after-repeated-transport-failures
+degradation (a dead service must cost misses, not hangs or crashes)."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.service.app import DiscoveryService
+from repro.service.cache_client import (
+    MAX_TRANSPORT_FAILURES,
+    RemoteProbeCache,
+)
+from repro.service.httpd import serve
+
+_QUIET = lambda *args, **kwargs: None  # noqa: E731
+
+
+@pytest.fixture()
+def cache_service(tmp_path):
+    """A service with only its cache endpoints in play: HTTP listener
+    up, fleet loop deliberately not started."""
+    service = DiscoveryService(tmp_path, echo=_QUIET)
+    server = serve(service, port=0)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.05},
+        daemon=True,
+    )
+    thread.start()
+    yield service, server
+    server.shutdown()
+    server.server_close()
+    service.cache.close()
+    thread.join(timeout=5.0)
+
+
+def test_roundtrip_and_counters(cache_service):
+    service, server = cache_service
+    remote = RemoteProbeCache(server.url)
+    payload = {"stdout": "7\n", "returncode": 0}
+
+    assert remote.get("fp16charfp16char", "execute", "abc123") is None
+    assert remote.stats.misses == 1
+
+    remote.put("fp16charfp16char", "execute", "abc123", payload)
+    assert remote.stats.writes == 1
+
+    assert remote.get("fp16charfp16char", "execute", "abc123") == payload
+    assert remote.stats.hits == 1
+    assert remote.stats.hits_by_verb == {"execute": 1}
+    assert remote.stats.misses_by_verb == {"execute": 1}
+
+    # the service's own store holds it: a second client sees the entry
+    other = RemoteProbeCache(server.url)
+    assert other.get("fp16charfp16char", "execute", "abc123") == payload
+    assert service.cache.get("fp16charfp16char", "execute", "abc123") == payload
+    remote.close()
+    other.close()
+
+
+def test_verbs_share_nothing(cache_service):
+    _, server = cache_service
+    remote = RemoteProbeCache(server.url)
+    remote.put("fp16charfp16char", "compile", "samehash", {"asm": ".text"})
+    assert remote.get("fp16charfp16char", "execute", "samehash") is None
+    assert remote.get("fp16charfp16char", "compile", "samehash") == {
+        "asm": ".text"
+    }
+    remote.close()
+
+
+def test_describe_names_the_endpoint(cache_service):
+    _, server = cache_service
+    remote = RemoteProbeCache(server.url)
+    assert server.url in remote.describe()
+    remote.close()
+
+
+def _dead_port():
+    """A localhost port with nothing listening on it."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def test_dead_service_degrades_to_misses_then_goes_quiet():
+    remote = RemoteProbeCache(f"http://127.0.0.1:{_dead_port()}", timeout=0.5)
+    for index in range(MAX_TRANSPORT_FAILURES + 2):
+        assert remote.get("fp16charfp16char", "execute", f"h{index}") is None
+        remote.put("fp16charfp16char", "execute", f"h{index}", {"n": index})
+    assert remote._disabled
+    assert "disabled" in remote.describe()
+    # every lookup was a miss, none raised, none wrote
+    assert remote.stats.misses == MAX_TRANSPORT_FAILURES + 2
+    assert remote.stats.writes == 0
+    remote.close()
+
+
+def test_rejects_non_http_urls():
+    with pytest.raises(ValueError, match="http"):
+        RemoteProbeCache("ftp://127.0.0.1:9999")

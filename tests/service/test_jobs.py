@@ -1,0 +1,106 @@
+"""JobStore unit coverage: validation, durable persistence, dense id
+allocation across store instances, and torn-record tolerance."""
+
+import json
+
+import pytest
+
+from repro.service import jobs as jobstates
+from repro.service.jobs import JobError, JobStore, _validate_workers
+
+
+def test_submit_persists_a_queued_record(tmp_path):
+    store = JobStore(tmp_path)
+    job = store.submit(["vax", "mips"], seed=7, workers=4)
+    assert job["id"] == "job-000001"
+    assert job["state"] == jobstates.QUEUED
+    assert job["targets"] == ["vax", "mips"]
+    assert job["seed"] == 7
+    assert job["workers"] == 4
+    on_disk = json.loads((tmp_path / "jobs" / "job-000001.json").read_text())
+    assert on_disk == job
+
+
+def test_defaults_applied(tmp_path):
+    job = JobStore(tmp_path).submit(["vax"])
+    assert job["seed"] == 1997
+    assert job["workers"] is None
+    assert job["max_attempts"] == 5
+    assert job["escalate_votes"] is None
+
+
+def test_ids_are_dense_and_survive_restart(tmp_path):
+    store = JobStore(tmp_path)
+    assert store.submit(["vax"])["id"] == "job-000001"
+    assert store.submit(["vax"])["id"] == "job-000002"
+    # a fresh store instance (a restarted service) continues the series
+    assert JobStore(tmp_path).submit(["vax"])["id"] == "job-000003"
+
+
+def test_update_round_trips(tmp_path):
+    store = JobStore(tmp_path)
+    job = store.submit(["vax"])
+    store.update(job["id"], state=jobstates.DONE, detail={"ok": True})
+    reread = store.get(job["id"])
+    assert reread["state"] == jobstates.DONE
+    assert reread["detail"] == {"ok": True}
+
+
+def test_open_jobs_filters_terminal_states(tmp_path):
+    store = JobStore(tmp_path)
+    queued = store.submit(["vax"])
+    done = store.submit(["mips"])
+    store.update(done["id"], state=jobstates.DONE)
+    assert [j["id"] for j in store.open_jobs()] == [queued["id"]]
+
+
+def test_torn_record_is_invisible_not_fatal(tmp_path):
+    store = JobStore(tmp_path)
+    store.submit(["vax"])
+    (tmp_path / "jobs" / "job-000002.json").write_text('{"half a rec')
+    assert [j["id"] for j in store.list()] == ["job-000001"]
+    with pytest.raises(JobError, match="unreadable"):
+        store.get("job-000002")
+
+
+def test_unknown_job_raises(tmp_path):
+    with pytest.raises(JobError, match="no such job"):
+        JobStore(tmp_path).get("job-424242")
+
+
+@pytest.mark.parametrize(
+    "targets,message",
+    [
+        ([], "non-empty"),
+        (None, "non-empty"),
+        ("vax", "non-empty"),  # a bare string is not a list of targets
+        (["vax", "vax"], "duplicate"),
+    ],
+)
+def test_bad_target_lists_are_refused(tmp_path, targets, message):
+    with pytest.raises(JobError, match=message):
+        JobStore(tmp_path).submit(targets)
+
+
+def test_unknown_targets_refused_against_known_set(tmp_path):
+    with pytest.raises(JobError, match="unknown target"):
+        JobStore(tmp_path).submit(["z80"], known_targets=["vax", "mips"])
+
+
+def test_bogus_knob_refused(tmp_path):
+    with pytest.raises(JobError, match="unknown option"):
+        JobStore(tmp_path).submit(["vax"], fleet=9)
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [(None, None), ("auto", "auto"), (3, 3), ("4", 4), (0, 1)],
+)
+def test_workers_validation_accepts(value, expected):
+    assert _validate_workers(value) == expected
+
+
+@pytest.mark.parametrize("value", ["many", [2]])
+def test_workers_validation_refuses(value):
+    with pytest.raises(JobError, match="workers"):
+        _validate_workers(value)

@@ -1,0 +1,144 @@
+"""Service-restart adoption: SIGKILL the whole service (and its
+worker) mid-campaign, restart it on the same root, and require the
+adopted campaign to finish with a spec bit-for-bit identical to direct
+discovery.
+
+This is the crash story the service promises: no state the disk does
+not hold.  The job record, the worker's checkpoints and the progress
+sidecar all survive the kill; a fresh ``repro serve`` lists the open
+job, re-arms its supervisor, reaps the orphaned worker and resumes.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+from repro.discovery.durable import PROGRESS_FILE
+from repro.discovery.supervisor import read_lease
+from repro.service import jobs as jobstates
+from repro.service.client import ServiceClient
+
+from .conftest import REPO_ROOT, TARGETS
+
+_URL_LINE = re.compile(r"listening on (http://\S+)")
+
+
+def _spawn_serve(root, cache_dir, log_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    log = open(log_path, "ab")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--root",
+            str(root),
+            "--port",
+            "0",
+            "--fleet",
+            "1",
+            "--cache-dir",
+            str(cache_dir),
+            "--heartbeat-every",
+            "0.2",
+            "--lease-timeout",
+            "30",
+            "--poll-interval",
+            "0.05",
+        ],
+        env=env,
+        stdout=log,
+        stderr=subprocess.STDOUT,
+    )
+    log.close()
+    return process
+
+
+def _wait_for_url(log_path, process, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"serve exited early:\n{log_path.read_text()}"
+            )
+        match = _URL_LINE.search(log_path.read_text())
+        if match:
+            return match.group(1)
+        time.sleep(0.1)
+    raise AssertionError(f"no listening line in:\n{log_path.read_text()}")
+
+
+def _kill(pid):
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except (OSError, ProcessLookupError):
+        pass
+
+
+def test_service_sigkill_midcampaign_adopts_to_identical_spec(
+    tmp_path, ref_specs
+):
+    root = tmp_path / "root"
+    cache = tmp_path / "cache"  # cold: keeps the kill window wide open
+    first_log = tmp_path / "serve-1.log"
+    second_log = tmp_path / "serve-2.log"
+
+    first = _spawn_serve(root, cache, first_log)
+    second = None
+    try:
+        url = _wait_for_url(first_log, first)
+        client = ServiceClient(url)
+        # two targets, fleet of one: vax is mid-phase when the service
+        # dies, mips has not started -- the restart must adopt the
+        # half-done campaign AND pick up the never-launched one
+        job = client.submit(TARGETS)
+        run_dir = root / "campaigns" / job["id"] / TARGETS[0] / "run"
+
+        # wait until the worker has durably committed some phases but
+        # cannot have finished, then kill service and worker outright
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            try:
+                progress = json.loads((run_dir / PROGRESS_FILE).read_text())
+            except (OSError, ValueError):
+                progress = {}
+            if 2 <= len(progress.get("completed", [])) <= 10:
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("campaign never reached the kill window")
+
+        lease = read_lease(run_dir)
+        _kill(first.pid)
+        first.wait(timeout=10)
+        if lease and lease.get("pid"):
+            _kill(lease["pid"])
+        killed_at = progress["completed"]
+        assert len(killed_at) < 14, "campaign finished before the kill"
+
+        second = _spawn_serve(root, cache, second_log)
+        url = _wait_for_url(second_log, second)
+        adopted_client = ServiceClient(url)
+        final = adopted_client.wait(job["id"], timeout=480)
+        assert final["state"] == jobstates.DONE, final
+        assert "adopted 1 open job(s)" in second_log.read_text()
+
+        specs = adopted_client.spec(job["id"])["specs"]
+        for target in TARGETS:
+            assert specs[target] == ref_specs[target], target
+            # and the on-disk artifact agrees with what HTTP served
+            artifact = (
+                root / "campaigns" / job["id"] / target / "out" / f"{target}.beg"
+            )
+            assert artifact.read_text() == ref_specs[target], target
+    finally:
+        _kill(first.pid)
+        if second is not None:
+            _kill(second.pid)
+            second.wait(timeout=10)
