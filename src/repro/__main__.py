@@ -21,6 +21,11 @@
     python -m repro run <target> --program FILE.a
     python -m repro lint [<target>...] [--source PATH] [--format text|json|sarif]
                          [--fail-on error|warning|never] [--out FILE]
+                         [--jobs N] [--model]
+    python -m repro verify-spec [<target>...] [--format text|json|sarif]
+                         [--fail-on error|warning|never] [--out FILE]
+                         [--seed N] [--jobs N]
+    python -m repro verify-spec --diff RUN_A RUN_B [--format ...] [--fail-on ...]
     python -m repro targets [--json]
 
 Mirrors the paper's user story: the only inputs are the target machine
@@ -54,6 +59,16 @@ portable checkpoints -- retry with backoff first, then escalate venue
 knobs, then quarantine with a typed failure record.  ``migrate-run``
 rewrites a run directory's newest checkpoint from the legacy pickle
 schema to the portable one.
+
+``lint`` statically verifies discovered machine descriptions;
+``verify-spec`` goes further and *proves* them: every emission rule,
+data-movement template and branch rule is checked against the target's
+own instruction semantics by translation validation (symbolic where the
+domain allows, a deterministic concrete battery otherwise), and every
+refutation carries a concrete counterexample.  ``verify-spec --diff``
+compares two run directories' specs for semantic drift.  Both verbs
+fan out across targets with ``--jobs`` (deterministic, target-ordered
+output for any job count).
 
 ``serve`` runs discovery as a service: a stdlib HTTP/1.1 control plane
 fronting a persistent job queue, a worker fleet (one supervisor per
@@ -189,6 +204,7 @@ def _cmd_discover(args):
             run_dir=run,
             crash_plan=_crash_plan(args),
             checkpoint_every=run.config.get("checkpoint_every"),
+            verify=args.verify,
         )
     else:
         if args.target is None:
@@ -205,6 +221,7 @@ def _cmd_discover(args):
             run_dir=args.run_dir,
             crash_plan=_crash_plan(args),
             checkpoint_every=args.checkpoint_every,
+            verify=args.verify,
         )
     lease = None
     lease_dir = args.resume or args.run_dir
@@ -366,15 +383,29 @@ def _cmd_run(args):
     return 0 if result.ok else 1
 
 
-def _cmd_lint(args):
-    """Static verification: speclint over each target's discovered
-    description, detlint over source paths.  Exit 0 when no finding
-    reaches the --fail-on threshold, 1 otherwise."""
-    from repro.analysis import DiagnosticSet, lint_paths
-    from repro.analysis.formats import render
+def _atomic_write_text(path, text):
+    """Write-temp-then-rename: readers of *path* (CI artifact uploads,
+    concurrent lint runs) never observe a half-written report."""
+    import os
+    import tempfile
 
-    merged = DiagnosticSet()
-    targets = list(args.targets)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=f".{os.path.basename(path)}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _check_targets(targets):
     unknown = [t for t in targets if t not in target_names()]
     if unknown:
         print(
@@ -382,27 +413,156 @@ def _cmd_lint(args):
             f"(choose from {', '.join(target_names())})",
             file=sys.stderr,
         )
-        return 2
-    if not targets and not args.source:
-        targets = list(target_names())
-    if targets:
-        from repro.discovery.driver import ArchitectureDiscovery
+        return False
+    return True
 
-        for target in targets:
-            report = ArchitectureDiscovery(
-                RemoteMachine(target), seed=args.seed
-            ).run()
-            merged.extend(report.diagnostics)
-    if args.source:
-        merged.extend(lint_paths(args.source))
-    text = render(merged, args.format)
+
+def _discover_spec(target, seed):
+    from repro.discovery.driver import ArchitectureDiscovery
+
+    return ArchitectureDiscovery(RemoteMachine(target), seed=seed).run()
+
+
+def _lint_worker(task):
+    """Per-target lint job (module-level so a process pool can pickle it)."""
+    target, seed, use_model = task
+    report = _discover_spec(target, seed)
+    if use_model:
+        from repro.analysis import lint_spec
+        from repro.machines.machine import build_model
+
+        return lint_spec(report.spec, model=build_model(target))
+    return report.diagnostics
+
+
+def _verify_worker(task):
+    """Per-target verify job: discover, then translation-validate."""
+    target, seed = task
+    from repro.analysis.verify import verify_spec
+    from repro.machines.machine import build_model
+
+    report = _discover_spec(target, seed)
+    result = verify_spec(report.spec, build_model(target), seed=seed)
+    return result.diagnostics, result.stats
+
+
+def _fan_out(worker, tasks, jobs):
+    """Run *worker* over *tasks*, optionally across a process pool.
+
+    Results come back in task order regardless of completion order, so
+    the merged report is identical for any --jobs value.  Mirrors the
+    extraction pool's convention: prefer ``fork`` (workers inherit the
+    warm interpreter), fall back to the platform default.
+    """
+    jobs = max(1, int(jobs or 1))
+    if jobs == 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        mp_ctx = multiprocessing.get_context("fork")
+    else:
+        mp_ctx = multiprocessing.get_context()
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(tasks)), mp_context=mp_ctx
+    ) as pool:
+        return list(pool.map(worker, tasks))
+
+
+def _emit_findings(merged, args, tool):
+    from repro.analysis.formats import render
+
+    text = render(merged, args.format, tool=tool)
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(text + "\n")
+        _atomic_write_text(args.out, text + "\n")
         print(f"wrote {args.out}")
     else:
         print(text)
     return 1 if merged.fails(args.fail_on) else 0
+
+
+def _cmd_lint(args):
+    """Static verification: speclint over each target's discovered
+    description, detlint over source paths.  Exit 0 when no finding
+    reaches the --fail-on threshold, 1 otherwise."""
+    from repro.analysis import DiagnosticSet, lint_paths
+
+    merged = DiagnosticSet()
+    targets = list(args.targets)
+    if not _check_targets(targets):
+        return 2
+    if not targets and not args.source:
+        targets = list(target_names())
+    if targets:
+        tasks = [(target, args.seed, args.model) for target in targets]
+        for diagnostics in _fan_out(_lint_worker, tasks, args.jobs):
+            merged.extend(diagnostics)
+    if args.source:
+        merged.extend(lint_paths(args.source))
+    return _emit_findings(merged, args, "repro-lint")
+
+
+def _load_run_spec(path):
+    """The (target, spec) of a run directory's newest checkpoint."""
+    from repro.discovery.durable import DurableRun
+
+    run = DurableRun.open(path)
+    checkpoint, warnings = run.load_checkpoint()
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if checkpoint is None or checkpoint.report.spec is None:
+        raise SystemExit(f"verify-spec: no synthesised spec in {path}")
+    return checkpoint.target, checkpoint.report.spec
+
+
+def _cmd_verify_spec(args):
+    """Translation validation of discovered specs (see
+    repro.analysis.verify).  Exit 0 when no finding reaches the
+    --fail-on threshold, 1 otherwise."""
+    from repro.analysis import DiagnosticSet
+
+    if args.diff:
+        from repro.analysis.verify import diff_specs
+        from repro.machines.machine import build_model
+
+        run_a, run_b = args.diff
+        target_a, spec_a = _load_run_spec(run_a)
+        target_b, spec_b = _load_run_spec(run_b)
+        if target_a != target_b:
+            print(
+                f"verify-spec: runs target different machines "
+                f"({target_a} vs {target_b})",
+                file=sys.stderr,
+            )
+            return 2
+        merged = diff_specs(
+            spec_a,
+            spec_b,
+            build_model(target_a),
+            seed=args.seed,
+            label_a=run_a,
+            label_b=run_b,
+        )
+        return _emit_findings(merged, args, "repro-verify-spec")
+
+    targets = list(args.targets) or list(target_names())
+    if not _check_targets(targets):
+        return 2
+    merged = DiagnosticSet()
+    tasks = [(target, args.seed) for target in targets]
+    for target, (diagnostics, stats) in zip(
+        targets, _fan_out(_verify_worker, tasks, args.jobs)
+    ):
+        merged.extend(diagnostics)
+        print(
+            f"{target}: {stats['obligations']} obligations: "
+            f"{stats['proven']} proven, {stats['sampled']} sampled, "
+            f"{stats['refuted']} refuted, "
+            f"{stats['unverifiable']} unverifiable",
+            file=sys.stderr,
+        )
+    return _emit_findings(merged, args, "repro-verify-spec")
 
 
 def _cmd_cache_info(args):
@@ -687,6 +847,13 @@ def main(argv=None):
         "--resume)",
     )
     p_discover.add_argument(
+        "--verify",
+        action="store_true",
+        help="append a translation-validation phase: prove every "
+        "synthesised rule against the machine model; findings land in "
+        "the report diagnostics and the summary",
+    )
+    p_discover.add_argument(
         "--votes",
         type=int,
         default=None,
@@ -900,8 +1067,68 @@ def main(argv=None):
         default="error",
         help="exit 1 when a finding at this severity or worse exists",
     )
-    p_lint.add_argument("--out", help="write the report to this file")
+    p_lint.add_argument(
+        "--out", help="write the report to this file (atomically)"
+    )
     p_lint.add_argument("--seed", type=int, default=1997)
+    p_lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint up to N targets in parallel worker processes "
+        "(output is target-ordered and identical for any N)",
+    )
+    p_lint.add_argument(
+        "--model",
+        action="store_true",
+        help="derive template def/use profiles from the target's own "
+        "machine model (symbolic execution) instead of the probed "
+        "semantics table alone",
+    )
+
+    p_verify = sub.add_parser(
+        "verify-spec",
+        help="prove discovered emission rules correct by translation "
+        "validation (counterexamples on refutation)",
+    )
+    # Same rationale as lint for skipping choices= on the positional.
+    p_verify.add_argument(
+        "targets",
+        nargs="*",
+        metavar="target",
+        help="targets to discover and verify (default: all)",
+    )
+    p_verify.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("RUN_A", "RUN_B"),
+        help="differential mode: compare the specs checkpointed in two "
+        "run directories instead of verifying against the model",
+    )
+    p_verify.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p_verify.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="exit 1 when a finding at this severity or worse exists",
+    )
+    p_verify.add_argument(
+        "--out", help="write the report to this file (atomically)"
+    )
+    p_verify.add_argument("--seed", type=int, default=1997)
+    p_verify.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="verify up to N targets in parallel worker processes",
+    )
 
     args = parser.parse_args(argv)
     handler = {
@@ -915,6 +1142,7 @@ def main(argv=None):
         "retarget": _cmd_retarget,
         "run": _cmd_run,
         "lint": _cmd_lint,
+        "verify-spec": _cmd_verify_spec,
     }[args.command]
     return handler(args)
 

@@ -40,6 +40,17 @@ CODES = {
     "SPEC041": ("warning", "rule for an operator the IR never emits"),
     "SPEC042": ("warning", "declared addressing mode is unreachable"),
     "SPEC043": ("warning", "chain rule references an undeclared addressing mode"),
+    # -- spec verifier: translation validation (symbolic) --------------
+    "SPEC100": ("error", "emission rule refuted by translation validation"),
+    "SPEC101": ("error", "branch rule refuted by translation validation"),
+    "SPEC102": ("error", "data-movement template refuted by translation validation"),
+    "SPEC104": ("error", "template does not resolve against the machine model"),
+    "SPEC105": ("info", "rule verified by concrete sampling only"),
+    # -- spec verifier: cross-spec differential lint -------------------
+    "SPEC110": ("error", "cross-spec semantic divergence"),
+    "SPEC111": ("error", "rule present in only one spec"),
+    "SPEC112": ("warning", "immediate ranges differ between specs"),
+    "SPEC113": ("warning", "allocatable register sets differ between specs"),
     # -- detlint: determinism hazards in discovery sources ------------
     "DET001": ("error", "unseeded random.Random()"),
     "DET002": ("error", "call through the global random module RNG"),
@@ -70,6 +81,8 @@ class Diagnostic:
     target: str = ""  # machine target for speclint findings
     line: int = 0
     severity: str = ""  # defaulted from CODES when empty
+    #: structured payload (counterexample valuations etc.); JSON-safe
+    data: dict | None = None
 
     def __post_init__(self):
         if self.code not in CODES:
@@ -100,6 +113,8 @@ class Diagnostic:
             out["where"] = self.where
         if self.line:
             out["line"] = self.line
+        if self.data is not None:
+            out["data"] = self.data
         return out
 
 

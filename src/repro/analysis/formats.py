@@ -62,6 +62,8 @@ def render_sarif(diagnostics, tool="repro-lint"):
             "level": _SARIF_LEVEL[diag.severity],
             "message": {"text": diag.message},
         }
+        if diag.data is not None:
+            result["properties"] = dict(diag.data)
         location = {}
         if diag.line:
             location = {

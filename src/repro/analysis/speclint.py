@@ -40,14 +40,23 @@ _INPUT_SLOTS = frozenset(("left", "right", "imm", "label", "slot", "src"))
 _CHAIN_MODE_RE = re.compile(r"AddrMode\[([^\]]+)\]")
 
 
-def lint_spec(spec):
-    """Run every speclint check over one MachineSpec."""
-    return _SpecLinter(spec).run()
+def lint_spec(spec, model=None):
+    """Run every speclint check over one MachineSpec.
+
+    Without *model* every check is purely static (discovery's black-box
+    discipline: lint sees only what probing learned).  With a
+    :class:`~repro.machines.machine.MachineModel`, def/use profiles are
+    derived by symbolically executing each template instruction against
+    the target's own semantics, falling back to the semantics-table
+    merge per instruction whenever the symbolic domain escapes.
+    """
+    return _SpecLinter(spec, model=model).run()
 
 
 class _SpecLinter:
-    def __init__(self, spec):
+    def __init__(self, spec, model=None):
         self.spec = spec
+        self.model = model
         self.out = DiagnosticSet()
         self.allocatable = set(spec.allocatable or ())
         self._keys = [_parse_key(key) for key in (spec.semantics or {})]
@@ -301,7 +310,20 @@ class _SpecLinter:
         clobber checks must see every possible read/write), defs
         intersect (a slot counts as defined only when every matching
         interpretation defines it).  No match at all returns None.
+
+        When the linter was given a machine model, the symbolic profile
+        (exact per-instruction def/use from the target's own semantics)
+        is preferred; the table merge remains the fallback for
+        instructions that escape the symbolic domain.
         """
+        if self.model is not None:
+            # Imported lazily: analysis.verify pulls in the machines
+            # package, which plain black-box lint must not depend on.
+            from repro.analysis.verify import template_def_use
+
+            profile = template_def_use(self.model, instr)
+            if profile is not None:
+                return profile
         pattern = []
         for op in instr.operands:
             if isinstance(op, Slot):

@@ -1,0 +1,749 @@
+"""Word-level symbolic evaluation domain for translation validation.
+
+Terms are nested tuples over unbounded Python integers:
+
+  ``("const", v)`` ``("var", name)``
+  ``("add"|"sub"|"mul"|"and"|"or"|"xor"|"shl"|"shr"|"umod"|"sdiv"|"smod", a, b)``
+  ``("neg"|"not", a)``
+  ``("mask", t, bits)`` ``("tosigned", t, bits)``
+
+``shr`` is Python's arithmetic right shift over the integers, ``umod`` a
+Euclidean remainder by a positive constant, ``sdiv``/``smod`` C's
+truncating division.  :mod:`repro.wordops` operations map onto these via
+:class:`SymVal.__sym_apply__`: e.g. ``wordops.add(a, b, w)`` becomes
+``Mask(Add(a, b), w)``.  Constructors constant-fold and normalise so two
+equivalent ``wordops`` computations usually produce the *same* tuple;
+structural equality of normalised terms is the verifier's proof rule.
+
+Normalisation leans on mod-2^w congruence: under an enclosing
+``Mask(.., w)``, inner ``Mask``/``ToSigned`` wrappers of width >= w are
+dropped through the ring and bitwise operators (but never through
+divisions or right shifts).  A lightweight unsigned interval analysis and
+a known-bits analysis discharge the remaining redundant wrappers.
+
+Anything the domain cannot express raises :class:`SymbolicEscape`, and
+the verifier falls back to deterministic concrete sampling.
+"""
+
+from __future__ import annotations
+
+from repro.machines.executor import Memory
+
+
+class SymbolicEscape(Exception):
+    """The computation left the symbolic domain (data-dependent branch,
+    symbolic address, unsupported operator...)."""
+
+
+# -- term construction -------------------------------------------------
+
+_COMMUTATIVE = ("add", "mul", "and", "or", "xor")
+#: operators through which mod-2^w congruence propagates argument-wise
+_RING_OPS = ("add", "sub", "mul", "and", "or", "xor", "neg", "not")
+
+
+def Const(value):
+    return ("const", value)
+
+
+def Var(name):
+    return ("var", name)
+
+
+def is_const(term):
+    return term[0] == "const"
+
+
+def term_vars(term):
+    """All variable names appearing in *term*."""
+    out = set()
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if t[0] == "var":
+            out.add(t[1])
+        elif t[0] not in ("const",):
+            stack.extend(a for a in t[1:] if isinstance(a, tuple))
+    return out
+
+
+def _key(term):
+    """Deterministic ordering key for commutative-argument sorting."""
+    return repr(term)
+
+
+def _fold2(op, a, b):
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        if b < 0:
+            raise SymbolicEscape("negative shift count")
+        return a << b
+    if op == "shr":
+        if b < 0:
+            raise SymbolicEscape("negative shift count")
+        return a >> b
+    if op == "umod":
+        if b <= 0:
+            raise SymbolicEscape("non-positive modulus")
+        return a % b
+    if op == "sdiv" or op == "smod":
+        if b == 0:
+            raise SymbolicEscape("symbolic fold divides by zero")
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return q if op == "sdiv" else a - q * b
+    raise SymbolicEscape(f"unknown operator {op!r}")
+
+
+def binop(op, a, b):
+    """Build ``(op, a, b)`` with folding and local simplification."""
+    if is_const(a) and is_const(b):
+        return Const(_fold2(op, a[1], b[1]))
+    if op in _COMMUTATIVE and _key(b) < _key(a):
+        a, b = b, a
+    if op == "add":
+        if a == Const(0):
+            return b
+        if b == Const(0):
+            return a
+    elif op == "sub":
+        if b == Const(0):
+            return a
+        if a == b:
+            return Const(0)
+        if a == Const(0):
+            return unop("neg", b)
+    elif op == "mul":
+        if a == Const(0) or b == Const(0):
+            return Const(0)
+        if a == Const(1):
+            return b
+        if b == Const(1):
+            return a
+    elif op == "and":
+        if a == Const(0) or b == Const(0):
+            return Const(0)
+        if a == Const(-1):
+            return b
+        if b == Const(-1):
+            return a
+        if a == b:
+            return a
+        narrowed = _and_const_absorbed(a, b)
+        if narrowed is not None:
+            return narrowed
+    elif op == "or":
+        if a == Const(0):
+            return b
+        if b == Const(0):
+            return a
+        if a == Const(-1) or b == Const(-1):
+            return Const(-1)
+        if a == b:
+            return a
+    elif op == "xor":
+        if a == Const(0):
+            return b
+        if b == Const(0):
+            return a
+        if a == b:
+            return Const(0)
+    elif op in ("shl", "shr"):
+        if b == Const(0):
+            return a
+        if a == Const(0):
+            return Const(0)
+    elif op == "umod":
+        if is_const(b):
+            n = b[1]
+            if n <= 0:
+                raise SymbolicEscape("non-positive modulus")
+            if n == 1:
+                return Const(0)
+            if a[0] == "umod" and is_const(a[2]) and a[2][1] % n == 0:
+                return binop("umod", a[1], b)
+            if a[0] in ("mask", "tosigned") and (1 << a[2]) % n == 0:
+                return binop("umod", a[1], b)
+            lo, hi = interval(a)
+            if lo is not None and hi is not None and 0 <= lo and hi < n:
+                return a
+    elif op in ("sdiv", "smod"):
+        if b == Const(1):
+            return a if op == "sdiv" else Const(0)
+    return (op, a, b)
+
+
+def _and_const_absorbed(a, b):
+    """``x & c -> x`` when the known bits of *x* prove the mask redundant."""
+    if not is_const(b):
+        return None
+    c = b[1]
+    if c < 0:
+        return None
+    width = c.bit_length()
+    lo, hi = interval(a)
+    if lo is None or hi is None or lo < 0 or hi >= (1 << width):
+        return None
+    known, value = known_bits(a, width)
+    full = (1 << width) - 1
+    outside = full & ~c
+    if known & outside == outside and value & outside == 0:
+        return a
+    return None
+
+
+def unop(op, a):
+    if is_const(a):
+        if op == "neg":
+            return Const(-a[1])
+        if op == "not":
+            return Const(~a[1])
+        raise SymbolicEscape(f"unknown operator {op!r}")
+    if a[0] == op and op in ("neg", "not"):
+        return a[1]  # Neg(Neg(x)), Not(Not(x))
+    return (op, a)
+
+
+def mask(term, bits):
+    term = _drop_mod(term, bits)
+    if is_const(term):
+        return Const(term[1] & ((1 << bits) - 1))
+    if term[0] == "mask" and term[2] <= bits:
+        return term
+    lo, hi = interval(term)
+    if lo is not None and hi is not None and 0 <= lo and hi < (1 << bits):
+        return term
+    return ("mask", term, bits)
+
+
+def tosigned(term, bits):
+    # tosigned depends only on the value mod 2^bits, so congruence-
+    # preserving wrappers inside can be dropped just as under a mask.
+    term = _drop_mod(term, bits)
+    if is_const(term):
+        value = term[1] & ((1 << bits) - 1)
+        if value >= 1 << (bits - 1):
+            value -= 1 << bits
+        return Const(value)
+    lo, hi = interval(term)
+    half = 1 << (bits - 1)
+    if lo is not None and hi is not None and -half <= lo and hi < half:
+        return term
+    return ("tosigned", term, bits)
+
+
+def _drop_mod(term, bits):
+    """A term congruent to *term* mod 2^*bits* with redundant width
+    wrappers removed.  Only ring/bitwise operators (and the shifted value
+    of ``shl``) transmit congruence; divisions and right shifts do not."""
+    op = term[0]
+    if op == "const":
+        return Const(term[1] & ((1 << bits) - 1))
+    if op == "mask" and term[2] >= bits:
+        return _drop_mod(term[1], bits)
+    if op == "tosigned" and term[2] >= bits:
+        return _drop_mod(term[1], bits)
+    if op in ("neg", "not"):
+        return unop(op, _drop_mod(term[1], bits))
+    if op in _RING_OPS:
+        return binop(op, _drop_mod(term[1], bits), _drop_mod(term[2], bits))
+    if op == "shl":
+        return binop("shl", _drop_mod(term[1], bits), term[2])
+    return term
+
+
+# -- abstraction: unsigned intervals and known bits --------------------
+
+
+def interval(term):
+    """Best-effort integer bounds ``(lo, hi)``; ``None`` means unbounded."""
+    op = term[0]
+    if op == "const":
+        return term[1], term[1]
+    if op == "var":
+        return None, None
+    if op == "mask":
+        bits = term[2]
+        lo, hi = interval(term[1])
+        if lo is not None and hi is not None and 0 <= lo and hi < (1 << bits):
+            return lo, hi
+        return 0, (1 << bits) - 1
+    if op == "tosigned":
+        half = 1 << (term[2] - 1)
+        lo, hi = interval(term[1])
+        if lo is not None and hi is not None and -half <= lo and hi < half:
+            return lo, hi
+        return -half, half - 1
+    if op == "umod":
+        if is_const(term[2]) and term[2][1] > 0:
+            n = term[2][1]
+            lo, hi = interval(term[1])
+            if lo is not None and hi is not None and 0 <= lo and hi < n:
+                return lo, hi
+            return 0, n - 1
+        return None, None
+    if op == "add":
+        alo, ahi = interval(term[1])
+        blo, bhi = interval(term[2])
+        lo = alo + blo if alo is not None and blo is not None else None
+        hi = ahi + bhi if ahi is not None and bhi is not None else None
+        return lo, hi
+    if op == "sub":
+        alo, ahi = interval(term[1])
+        blo, bhi = interval(term[2])
+        lo = alo - bhi if alo is not None and bhi is not None else None
+        hi = ahi - blo if ahi is not None and blo is not None else None
+        return lo, hi
+    if op == "neg":
+        lo, hi = interval(term[1])
+        return (
+            -hi if hi is not None else None,
+            -lo if lo is not None else None,
+        )
+    if op == "not":
+        lo, hi = interval(term[1])
+        return (
+            -hi - 1 if hi is not None else None,
+            -lo - 1 if lo is not None else None,
+        )
+    if op == "mul":
+        alo, ahi = interval(term[1])
+        blo, bhi = interval(term[2])
+        if None in (alo, ahi, blo, bhi):
+            return None, None
+        corners = [alo * blo, alo * bhi, ahi * blo, ahi * bhi]
+        return min(corners), max(corners)
+    if op == "and":
+        alo, ahi = interval(term[1])
+        blo, bhi = interval(term[2])
+        if alo is not None and alo >= 0 and blo is not None and blo >= 0:
+            his = [h for h in (ahi, bhi) if h is not None]
+            return 0, min(his) if his else None
+        return None, None
+    if op in ("or", "xor"):
+        alo, ahi = interval(term[1])
+        blo, bhi = interval(term[2])
+        if None in (alo, ahi, blo, bhi) or alo < 0 or blo < 0:
+            return None, None
+        width = max(ahi.bit_length(), bhi.bit_length())
+        return 0, (1 << width) - 1
+    if op == "shl":
+        alo, ahi = interval(term[1])
+        blo, bhi = interval(term[2])
+        if None in (alo, ahi, blo, bhi) or alo < 0 or blo < 0:
+            return None, None
+        return alo << blo, ahi << bhi
+    if op == "shr":
+        alo, ahi = interval(term[1])
+        blo, bhi = interval(term[2])
+        if alo is None or alo < 0 or blo is None or blo < 0:
+            return None, None
+        hi = ahi >> blo if ahi is not None else None
+        lo = alo >> bhi if bhi is not None else 0
+        return lo, hi
+    if op == "smod":
+        if is_const(term[2]) and term[2][1] != 0:
+            n = abs(term[2][1])
+            return -(n - 1), n - 1
+        return None, None
+    return None, None
+
+
+def known_bits(term, width):
+    """Known-bits abstraction over the low *width* bits.
+
+    Returns ``(known, value)`` where bit *i* of ``known`` means bit *i*
+    of the term is known to equal bit *i* of ``value``.
+    """
+    full = (1 << width) - 1
+    op = term[0]
+    if op == "const":
+        return full, term[1] & full
+    if op == "var":
+        return 0, 0
+    if op in ("mask", "tosigned"):
+        bits = term[2]
+        known, value = known_bits(term[1], min(bits, width))
+        if op == "mask" and bits < width:
+            # bits at and above the mask width are known zero
+            known |= full & ~((1 << bits) - 1)
+        return known & full, value & full
+    if op == "and":
+        k1, v1 = known_bits(term[1], width)
+        k2, v2 = known_bits(term[2], width)
+        known = (k1 & k2) | (k1 & ~v1) | (k2 & ~v2)
+        return known & full, (v1 & v2) & full
+    if op == "or":
+        k1, v1 = known_bits(term[1], width)
+        k2, v2 = known_bits(term[2], width)
+        known = (k1 & k2) | (k1 & v1) | (k2 & v2)
+        return known & full, (v1 | v2) & full
+    if op == "xor":
+        k1, v1 = known_bits(term[1], width)
+        k2, v2 = known_bits(term[2], width)
+        return (k1 & k2) & full, (v1 ^ v2) & full
+    if op == "not":
+        k, v = known_bits(term[1], width)
+        return k & full, ~v & full
+    if op == "shl" and is_const(term[2]) and term[2][1] >= 0:
+        shift = term[2][1]
+        if shift >= width:
+            return full, 0
+        k, v = known_bits(term[1], width - shift)
+        low = (1 << shift) - 1
+        return ((k << shift) | low) & full, (v << shift) & full
+    if op == "add":
+        k1, v1 = known_bits(term[1], width)
+        k2, v2 = known_bits(term[2], width)
+        known = 0
+        value = 0
+        carry_known, carry = True, 0
+        for i in range(width):
+            bit = 1 << i
+            if not (carry_known and k1 & bit and k2 & bit):
+                break
+            total = ((v1 >> i) & 1) + ((v2 >> i) & 1) + carry
+            value |= (total & 1) << i
+            known |= bit
+            carry = total >> 1
+        return known, value
+    return 0, 0
+
+
+# -- evaluation over concrete valuations -------------------------------
+
+
+def evaluate(term, env):
+    """Evaluate *term* with ``env`` mapping variable names to integers.
+
+    Raises ``ZeroDivisionError`` where the reference semantics is
+    undefined (division/remainder by zero).
+    """
+    op = term[0]
+    if op == "const":
+        return term[1]
+    if op == "var":
+        return env[term[1]]
+    if op == "mask":
+        return evaluate(term[1], env) & ((1 << term[2]) - 1)
+    if op == "tosigned":
+        bits = term[2]
+        value = evaluate(term[1], env) & ((1 << bits) - 1)
+        if value >= 1 << (bits - 1):
+            value -= 1 << bits
+        return value
+    if op in ("neg", "not"):
+        a = evaluate(term[1], env)
+        return -a if op == "neg" else ~a
+    a = evaluate(term[1], env)
+    b = evaluate(term[2], env)
+    if op in ("sdiv", "smod", "umod") and b == 0:
+        raise ZeroDivisionError(op)
+    return _fold2(op, a, b)
+
+
+# -- wrapped values for executor states --------------------------------
+
+
+class SymVal:
+    """A symbolic word flowing through an :class:`ExecState`.
+
+    Implements ``__sym_apply__`` so every :mod:`repro.wordops` helper
+    stays in the symbolic domain, plus the raw integer operators the
+    semantics hooks use directly.  Truth-value or index coercion raises
+    :class:`SymbolicEscape`.
+    """
+
+    __slots__ = ("term",)
+
+    def __init__(self, term):
+        self.term = term
+
+    def __repr__(self):
+        return f"SymVal({self.term!r})"
+
+    # wordops dispatch --------------------------------------------------
+
+    def __sym_apply__(self, name, args, bits):
+        terms = [_term_of(a) for a in args]
+        if name == "mask" or name == "to_unsigned":
+            return SymVal(mask(terms[0], bits))
+        if name == "to_signed":
+            return SymVal(tosigned(terms[0], bits))
+        if name == "c_div":
+            return SymVal(binop("sdiv", terms[0], terms[1]))
+        if name == "c_mod":
+            return SymVal(binop("smod", terms[0], terms[1]))
+        if name == "shift_amount":
+            return SymVal(binop("umod", terms[0], Const(bits)))
+        if name in ("add", "sub", "mul"):
+            return SymVal(mask(binop(name, terms[0], terms[1]), bits))
+        if name in ("band", "bor", "bxor"):
+            op = {"band": "and", "bor": "or", "bxor": "xor"}[name]
+            return SymVal(mask(binop(op, terms[0], terms[1]), bits))
+        if name in ("sdiv", "smod"):
+            op = {"sdiv": "sdiv", "smod": "smod"}[name]
+            a = tosigned(terms[0], bits)
+            b = tosigned(terms[1], bits)
+            return SymVal(mask(binop(op, a, b), bits))
+        if name == "neg":
+            return SymVal(mask(unop("neg", terms[0]), bits))
+        if name == "bit_not":
+            return SymVal(mask(unop("not", terms[0]), bits))
+        if name == "shl":
+            amount = binop("umod", terms[1], Const(bits))
+            return SymVal(mask(binop("shl", terms[0], amount), bits))
+        if name == "shr_arith":
+            amount = binop("umod", terms[1], Const(bits))
+            return SymVal(mask(binop("shr", tosigned(terms[0], bits), amount), bits))
+        if name == "shr_logical":
+            amount = binop("umod", terms[1], Const(bits))
+            return SymVal(binop("shr", mask(terms[0], bits), amount))
+        raise SymbolicEscape(f"no symbolic semantics for wordops.{name}")
+
+    # raw integer operators (used directly by semantics hooks) ----------
+
+    def _bin(self, op, other, swapped=False):
+        a, b = _term_of(self), _term_of(other)
+        if swapped:
+            a, b = b, a
+        return SymVal(binop(op, a, b))
+
+    def __add__(self, other):
+        return self._bin("add", other)
+
+    def __radd__(self, other):
+        return self._bin("add", other, swapped=True)
+
+    def __sub__(self, other):
+        return self._bin("sub", other)
+
+    def __rsub__(self, other):
+        return self._bin("sub", other, swapped=True)
+
+    def __mul__(self, other):
+        return self._bin("mul", other)
+
+    def __rmul__(self, other):
+        return self._bin("mul", other, swapped=True)
+
+    def __and__(self, other):
+        return self._bin("and", other)
+
+    def __rand__(self, other):
+        return self._bin("and", other, swapped=True)
+
+    def __or__(self, other):
+        return self._bin("or", other)
+
+    def __ror__(self, other):
+        return self._bin("or", other, swapped=True)
+
+    def __xor__(self, other):
+        return self._bin("xor", other)
+
+    def __rxor__(self, other):
+        return self._bin("xor", other, swapped=True)
+
+    def __lshift__(self, other):
+        return self._bin("shl", other)
+
+    def __rshift__(self, other):
+        return self._bin("shr", other)
+
+    def __mod__(self, other):
+        # Python % by a positive constant is a Euclidean remainder.
+        if isinstance(other, int) and other > 0:
+            return SymVal(binop("umod", self.term, Const(other)))
+        raise SymbolicEscape("symbolic % by a non-constant modulus")
+
+    def __neg__(self):
+        return SymVal(unop("neg", self.term))
+
+    def __invert__(self):
+        return SymVal(unop("not", self.term))
+
+    # comparisons and coercions ----------------------------------------
+
+    def _cmp(self, why, other):
+        names = term_vars(self.term)
+        if isinstance(other, SymVal):
+            names = names | term_vars(other.term)
+        return SymBool(why, names)
+
+    def __eq__(self, other):
+        return self._cmp("eq", other)
+
+    def __ne__(self, other):
+        return self._cmp("ne", other)
+
+    def __lt__(self, other):
+        return self._cmp("lt", other)
+
+    def __le__(self, other):
+        return self._cmp("le", other)
+
+    def __gt__(self, other):
+        return self._cmp("gt", other)
+
+    def __ge__(self, other):
+        return self._cmp("ge", other)
+
+    __hash__ = object.__hash__
+
+    def __bool__(self):
+        raise SymbolicEscape("truth value of a symbolic word")
+
+    def __index__(self):
+        raise SymbolicEscape("symbolic value used as an index")
+
+    def __int__(self):
+        raise SymbolicEscape("symbolic value coerced to int")
+
+
+class SymBool:
+    """A symbolic comparison outcome: any branch on it escapes.
+
+    ``vars`` records which symbolic variables fed the comparison, so
+    def/use observers can attribute condition-code writes (a ``cmp``
+    *uses* its operands even though it writes no register).
+    """
+
+    __slots__ = ("why", "vars")
+
+    def __init__(self, why="", vars=frozenset()):
+        self.why = why
+        self.vars = frozenset(vars)
+
+    def __bool__(self):
+        raise SymbolicEscape(f"branch on a symbolic comparison ({self.why})")
+
+
+def _term_of(value):
+    if isinstance(value, SymVal):
+        return value.term
+    if isinstance(value, bool):
+        return Const(int(value))
+    if isinstance(value, int):
+        return Const(value)
+    raise SymbolicEscape(f"cannot lift {type(value).__name__} into the term domain")
+
+
+def fresh(name):
+    """A fresh symbolic word named *name*."""
+    return SymVal(Var(name))
+
+
+# -- symbolic memory ---------------------------------------------------
+
+
+class SymMemory:
+    """Memory for symbolic execution.
+
+    Concrete accesses go to a real :class:`Memory`; whole-cell symbolic
+    values live in a side table keyed ``(addr, size)``.  Any partial
+    overlap with a symbolic cell, or any symbolic address, escapes.
+    """
+
+    def __init__(self, endian):
+        self.endian = endian
+        self._concrete = Memory(endian)
+        self._sym = {}
+
+    def copy(self):
+        clone = SymMemory(self.endian)
+        clone._concrete = self._concrete.copy()
+        clone._sym = dict(self._sym)
+        return clone
+
+    def _overlap(self, addr, size):
+        for (a, s) in self._sym:
+            if addr < a + s and a < addr + size:
+                return (a, s)
+        return None
+
+    def load(self, addr, size, signed=False):
+        if not isinstance(addr, int):
+            raise SymbolicEscape("load from a symbolic address")
+        cell = self._sym.get((addr, size))
+        if cell is not None:
+            if signed:
+                from repro import wordops
+
+                return wordops.to_signed(cell, size * 8)
+            return cell
+        if self._overlap(addr, size) is not None:
+            raise SymbolicEscape("partial load of a symbolic memory cell")
+        return self._concrete.load(addr, size, signed)
+
+    def store(self, addr, value, size):
+        if not isinstance(addr, int):
+            raise SymbolicEscape("store to a symbolic address")
+        overlap = self._overlap(addr, size)
+        if overlap is not None and overlap != (addr, size):
+            raise SymbolicEscape("partial overwrite of a symbolic memory cell")
+        if isinstance(value, SymVal):
+            from repro import wordops
+
+            self._sym[(addr, size)] = wordops.mask(value, size * 8)
+        else:
+            self._sym.pop((addr, size), None)
+            self._concrete.store(addr, value, size)
+
+    def store_bytes(self, addr, data):
+        if self._overlap(addr, len(data)) is not None:
+            raise SymbolicEscape("store_bytes over a symbolic memory cell")
+        self._concrete.store_bytes(addr, data)
+
+    def load_cstring(self, addr, limit=4096):
+        return self._concrete.load_cstring(addr, limit)
+
+    def symbolic_cells(self):
+        """Snapshot of the symbolic side table (for def/use observation)."""
+        return dict(self._sym)
+
+
+# -- deterministic sampling support ------------------------------------
+
+
+def candidate_values(bits, rng, extra=()):
+    """Counterexample candidates for one *bits*-wide variable, simplest
+    first.  ``rng`` (a seeded ``random.Random``) appends interior points
+    so repeated runs stay deterministic under a fixed seed."""
+    half = 1 << (bits - 1)
+    ordered = [0, 1, 2, -1, -2, 3, half - 1, -half, half // 3, -(half // 5)]
+    ordered.extend(extra)
+    ordered.extend(rng.randrange(-half, half) for _ in range(4))
+    seen = []
+    for value in ordered:
+        if -half <= value < 2 * half and value not in seen:
+            seen.append(value)
+    return seen
+
+
+def ranked_product(candidate_lists, limit=None):
+    """Cartesian product of candidate lists ordered by total rank, so the
+    first failing valuation is a minimal witness."""
+    if not candidate_lists:
+        yield ()
+        return
+    import itertools
+
+    sizes = [range(len(lst)) for lst in candidate_lists]
+    indexed = sorted(itertools.product(*sizes), key=lambda idx: (sum(idx), idx))
+    if limit is not None:
+        indexed = indexed[:limit]
+    for idx in indexed:
+        yield tuple(lst[i] for lst, i in zip(candidate_lists, idx))

@@ -111,6 +111,7 @@ class DiscoveryReport:
     cache_stats: object = None  # cache.CacheStats, when caching
     diagnostics: object = None  # analysis.DiagnosticSet from the lint phase
     extraction_stats: object = None  # extract_pool.ExtractionStats
+    verify_stats: object = None  # analysis.verify obligation counts (dict)
 
     @property
     def phase_timings(self):
@@ -187,6 +188,10 @@ class DiscoveryReport:
             counts = self.diagnostics.counts()
             out["lint_errors"] = counts.get("error", 0)
             out["lint_warnings"] = counts.get("warning", 0)
+        if self.verify_stats is not None:
+            out["verify_proven"] = self.verify_stats.get("proven", 0)
+            out["verify_sampled"] = self.verify_stats.get("sampled", 0)
+            out["verify_refuted"] = self.verify_stats.get("refuted", 0)
         return out
 
     def render_summary(self):
@@ -300,7 +305,14 @@ class ArchitectureDiscovery:
         run_dir=None,
         crash_plan=None,
         checkpoint_every=None,
+        verify=False,
     ):
+        # The phase table is per-instance so opt-in phases (spec verify)
+        # append without changing the class-level contract other code
+        # (crash plans, resume bookkeeping) is written against.
+        self.phases = list(self.PHASES)
+        if verify:
+            self.phases.append(("spec verify", "_phase_verify"))
         if resilience is False:  # escape hatch: measure the raw machine
             self.resilience = None
             self.machine = machine
@@ -386,7 +398,7 @@ class ArchitectureDiscovery:
             self._apply_adaptive_sizing(state)
 
         try:
-            for name, method in self.PHASES:
+            for name, method in self.phases:
                 if name in completed:
                     continue
                 self._crash_point("before", name)
@@ -758,6 +770,24 @@ class ArchitectureDiscovery:
         from repro.analysis import lint_spec
 
         report.diagnostics = lint_spec(report.spec)
+        report.spec.diagnostics = report.diagnostics.to_dicts()
+
+    def _phase_verify(self, report, state):
+        """Translation validation of the synthesised description against
+        the target's own machine model (opt-in, ``verify=True`` /
+        ``repro discover --verify``).  Like lint, findings never abort
+        discovery; they merge into the report's diagnostics and the
+        spec's summary."""
+        from repro.analysis.verify import build_model, verify_spec
+
+        model = build_model(self.machine.target)
+        result = verify_spec(report.spec, model, seed=self.seed)
+        report.verify_stats = result.stats
+        if report.diagnostics is None:
+            from repro.analysis.diagnostics import DiagnosticSet
+
+            report.diagnostics = DiagnosticSet()
+        report.diagnostics.extend(result.diagnostics)
         report.spec.diagnostics = report.diagnostics.to_dicts()
 
 

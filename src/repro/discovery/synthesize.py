@@ -70,7 +70,7 @@ class Synthesizer:
         spec.call = call_protocol
         spec.frame = frame_model
         self._move_templates(spec)
-        spec.reg_move = [self.reg_move_template()]
+        spec.reg_move = [self.reg_move_template(spec)]
         self._op_rules(spec)
         self._imm_rules(spec)
         self._break_cost_ties(spec)
@@ -280,23 +280,34 @@ class Synthesizer:
         instr.operands = operands
         return instr
 
-    def reg_move_template(self):
-        """A register-to-register move: a discovered identity (r,r)
-        instruction, or an add-immediate-zero fallback."""
+    def reg_move_template(self, spec):
+        """A register-to-register move: a discovered identity
+        instruction, or an add-immediate-zero fallback.  Reverse
+        interpretation can mistake a non-move for an identity when the
+        samples never separate the two readings (the VAX ``subl3 src,
+        $imm, dest`` shape looks like ``dest = src`` in every sample
+        that contains it), so no candidate is accepted on its extracted
+        semantics alone: each must survive a runtime round trip with
+        register operands substituted in."""
+        candidates = []
         for _key, op_sem in self.sem_items():
             if len(op_sem.effects) != 1:
                 continue
             (target, term), = op_sem.effects
-            if term[0] != "val" or target[0] != "op":
+            if term[0] != "val" or target[0] not in ("op", "mem"):
                 continue
-            src = op_sem.example.operands[term[1]]
-            if isinstance(src, DReg):
-                instr = op_sem.example.clone(labels=[])
-                ops = list(instr.operands)
-                ops[term[1]] = Slot("src")
-                ops[target[1]] = Slot("dest")
-                instr.operands = ops
-                return instr
+            if target[1] == term[1]:
+                continue
+            instr = op_sem.example.clone(labels=[])
+            ops = list(instr.operands)
+            ops[term[1]] = Slot("src")
+            ops[target[1]] = Slot("dest")
+            instr.operands = ops
+            # Prefer examples that already used a register source; the
+            # others only work if the instruction's forms also accept
+            # registers, which the round-trip assembly step checks.
+            rank = 0 if isinstance(op_sem.example.operands[term[1]], DReg) else 1
+            candidates.append((rank, instr))
         # Fallback: dest = add(src, 0).
         for _key, op_sem in self.sem_items():
             if len(op_sem.effects) != 1:
@@ -324,8 +335,48 @@ class Synthesizer:
                 ops[reg_positions[0][1]] = Slot("src")
                 ops[target[1]] = Slot("dest")
                 instr.operands = ops
+                candidates.append((2, instr))
+        if not candidates:
+            raise DiscoveryError("no register-move instruction derivable")
+        candidates.sort(key=lambda item: item[0])
+        for _rank, instr in candidates:
+            if self._reg_move_round_trip(spec, [instr]):
                 return instr
-        raise DiscoveryError("no register-move instruction derivable")
+        raise DiscoveryError("no register-move template survives the round trip")
+
+    def _reg_move_round_trip(self, spec, move_tpl):
+        """Execute loadimm -> candidate move -> store -> print on the
+        target; the probe value must come back unchanged."""
+        frame = spec.frame
+        if frame is None or not frame.slots or not frame.print_template:
+            return True  # no runtime scaffold available; trust the ranking
+        pool = [r for r in self.engine.functional_registers() if r in self._common_safe()]
+        if len(pool) < 2:
+            return True
+        value = 46279
+        body = [self.syntax.render_instr(self.syntax.load_imm_instr(value, pool[0]))]
+        try:
+            for instr in instantiate(move_tpl, {"src": DReg(pool[0]), "dest": DReg(pool[1])}):
+                body.append(self.syntax.render_instr(instr))
+        except KeyError:
+            return False  # template never consumed the source register
+        for instr in instantiate(
+            spec.store_template, {"src": DReg(pool[1]), "slot": frame.slots[-1]}
+        ):
+            body.append(self.syntax.render_instr(instr))
+        for instr in instantiate(frame.print_template, {"print_slot": frame.slots[-1]}):
+            body.append(self.syntax.render_instr(instr))
+        for instr in instantiate(frame.exit_template, {}):
+            body.append(self.syntax.render_instr(instr))
+        program = "\n".join(
+            frame.data_lines + frame.prologue_lines + body
+        ) + "\n"
+        try:
+            obj = self.machine.assemble(program)
+            result = self.machine.execute(self.machine.link([obj]))
+        except Exception:
+            return False
+        return result.ok and result.output == f"{value}\n"
 
     # -- operator rules ---------------------------------------------------------
 

@@ -109,7 +109,7 @@ def _negl(state, ops):
 def _ornot(state, ops):
     a = read(state, ops[0])
     b = read(state, ops[1])
-    write(state, ops[2], a | wordops.bit_not(b, WORD))
+    write(state, ops[2], wordops.bor(a, wordops.bit_not(b, WORD), WORD))
 
 
 def _compare(cond):
@@ -193,9 +193,9 @@ def build_isa():
         ("mull", wordops.mul, False),
         ("divl", wordops.sdiv, True),
         ("reml", wordops.smod, True),
-        ("and", lambda a, b, w: a & b, False),
-        ("bis", lambda a, b, w: a | b, False),
-        ("xor", lambda a, b, w: a ^ b, False),
+        ("and", wordops.band, False),
+        ("bis", wordops.bor, False),
+        ("xor", wordops.bxor, False),
         ("sll", wordops.shl, False),
         ("srl", wordops.shr_logical, False),
         ("sra", wordops.shr_arith, False),

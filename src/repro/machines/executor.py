@@ -175,7 +175,7 @@ def read(state, op, size=None):
     if isinstance(op, Reg):
         return state.get_reg(op.name)
     if isinstance(op, Imm):
-        if not isinstance(op.value, int):
+        if not isinstance(op.value, int) and not hasattr(op.value, "__sym_apply__"):
             raise ExecutionError(f"unresolved immediate {op.value!r}")
         return wordops.mask(op.value, state.isa.word_bits)
     if isinstance(op, Mem):

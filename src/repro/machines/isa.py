@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ExecutionError
+from repro.machines.operands import Imm, Mem, Reg, coerce_to_signature
+
 
 @dataclass(frozen=True)
 class RegisterDef:
@@ -181,3 +184,67 @@ class Isa:
         if allocatable_only:
             return [r.name for r in self.registers if r.allocatable and r.hardwired is None]
         return [r.name for r in self.registers]
+
+    # -- machine-model hooks for the spec verifier --------------------
+
+    def resolve_form(self, mnemonic, operands):
+        """Select the instruction form *operands* would assemble to.
+
+        Mirrors the assembler's first-matching-form selection: signature
+        coercion, immediate-range checks (skipped for non-integer values,
+        so symbolic immediates pass), and register constraints.  Returns
+        ``(form, coerced_operands)`` or ``None`` when nothing matches.
+        """
+        instr_def = self.instructions.get(mnemonic)
+        if instr_def is None:
+            return None
+        for form in instr_def.forms:
+            coerced = coerce_to_signature(operands, form.signature)
+            if coerced is None:
+                continue
+            if self._range_violation(form, coerced):
+                continue
+            if self._constraint_violation(form, coerced):
+                continue
+            return form, coerced
+        return None
+
+    def _range_violation(self, form, operands):
+        for index, (lo, hi) in form.imm_ranges.items():
+            op = operands[index]
+            value = None
+            if isinstance(op, Imm) and isinstance(op.value, int):
+                value = op.value
+            elif isinstance(op, Mem) and isinstance(op.disp, int):
+                value = op.disp
+            if value is not None and not lo <= value <= hi:
+                return True
+        return False
+
+    def _constraint_violation(self, form, operands):
+        for index, allowed in form.reg_constraints.items():
+            op = operands[index]
+            if isinstance(op, Reg):
+                allowed_canon = {self.canonical_reg(a) for a in allowed}
+                if self.canonical_reg(op.name) not in allowed_canon:
+                    return True
+        return False
+
+    def symbolic_step(self, state, mnemonic, operands):
+        """Execute one instruction's semantics against *state*.
+
+        The contract for translation validation: *state* may hold
+        symbolic register/memory values (:mod:`repro.analysis.symexec`);
+        the semantics hooks run unchanged because all word arithmetic
+        routes through :mod:`repro.wordops`.  Data-dependent control flow
+        raises ``SymbolicEscape`` from inside the hook; form-resolution
+        failure raises :class:`~repro.errors.ExecutionError`.
+        """
+        resolved = self.resolve_form(mnemonic, operands)
+        if resolved is None:
+            raise ExecutionError(
+                f"{self.name}: no form of {mnemonic!r} matches {operands!r}"
+            )
+        form, coerced = resolved
+        form.execute(state, coerced)
+        return form

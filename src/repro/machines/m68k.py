@@ -224,9 +224,9 @@ def build_isa():
     for mnemonic, fn, zero in [
         ("add.l", wordops.add, False),
         ("sub.l", wordops.sub, False),
-        ("and.l", lambda a, b, w: a & b, False),
-        ("or.l", lambda a, b, w: a | b, False),
-        ("eor.l", lambda a, b, w: a ^ b, False),
+        ("and.l", wordops.band, False),
+        ("or.l", wordops.bor, False),
+        ("eor.l", wordops.bxor, False),
     ]:
         define(mnemonic, InstrForm((SRC, RM), _arith(fn, check_zero=zero)))
     define(

@@ -42,6 +42,29 @@ def target_names():
 
 
 @dataclass(frozen=True)
+class MachineModel:
+    """A target's architectural model, without the remote-verb surface.
+
+    This is what the spec verifier consumes: the ISA (instruction forms,
+    registers, ABI, ``symbolic_step``) and the runtime builtins -- but no
+    probe/compile machinery, so discovery's black-box discipline is
+    untouched.
+    """
+
+    target: str
+    isa: object
+    runtime: dict
+
+
+def build_model(target):
+    """Build the :class:`MachineModel` for *target*."""
+    if target not in _TARGETS:
+        raise ValueError(f"unknown target {target!r}; have {target_names()}")
+    build_isa, build_runtime = _TARGETS[target]
+    return MachineModel(target=target, isa=build_isa(), runtime=build_runtime())
+
+
+@dataclass(frozen=True)
 class Toolchain:
     """The command lines of paper section 2, kept for fidelity of the
     user-facing story (they select which simulated tool runs)."""

@@ -182,9 +182,9 @@ def build_isa():
         ("addu", wordops.add),
         ("subu", wordops.sub),
         ("mul", wordops.mul),
-        ("and", lambda a, b, w: a & b),
-        ("or", lambda a, b, w: a | b),
-        ("xor", lambda a, b, w: a ^ b),
+        ("and", wordops.band),
+        ("or", wordops.bor),
+        ("xor", wordops.bxor),
     ]:
         define(mnemonic, InstrForm(("r", "r", "r"), _binop(fn)))
     define("div", InstrForm(("r", "r", "r"), _binop(wordops.sdiv, check_zero=True)))
@@ -194,9 +194,9 @@ def build_isa():
         InstrForm(("r", "r", "i"), _binop(wordops.add), imm_ranges={2: IMM16}),
     )
     for mnemonic, fn in [
-        ("andi", lambda a, b, w: a & b),
-        ("ori", lambda a, b, w: a | b),
-        ("xori", lambda a, b, w: a ^ b),
+        ("andi", wordops.band),
+        ("ori", wordops.bor),
+        ("xori", wordops.bxor),
     ]:
         define(
             mnemonic,

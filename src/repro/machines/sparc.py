@@ -191,10 +191,10 @@ def build_isa():
     for mnemonic, fn in [
         ("add", wordops.add),
         ("sub", wordops.sub),
-        ("and", lambda a, b, w: a & b),
-        ("or", lambda a, b, w: a | b),
-        ("xor", lambda a, b, w: a ^ b),
-        ("andn", lambda a, b, w: a & wordops.bit_not(b, w)),
+        ("and", wordops.band),
+        ("or", wordops.bor),
+        ("xor", wordops.bxor),
+        ("andn", lambda a, b, w: wordops.band(a, wordops.bit_not(b, w), w)),
     ]:
         define(
             mnemonic,

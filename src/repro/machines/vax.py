@@ -256,9 +256,9 @@ def build_isa():
         ("subl", wordops.sub, True, False),
         ("mull", wordops.mul, False, False),
         ("divl", wordops.sdiv, True, True),
-        ("bisl", lambda a, b, w: a | b, False, False),
-        ("xorl", lambda a, b, w: a ^ b, False, False),
-        ("bicl", lambda a, b, w: a & wordops.bit_not(b, w), True, False),
+        ("bisl", wordops.bor, False, False),
+        ("xorl", wordops.bxor, False, False),
+        ("bicl", lambda a, b, w: wordops.band(a, wordops.bit_not(b, w), w), True, False),
     ]:
         define(base + "2", InstrForm((SRC, RM), _op2(fn, check_zero=zero)))
         define(base + "3", InstrForm((SRC, SRC, RM), _op3(fn, swap=swap3, check_zero=zero)))

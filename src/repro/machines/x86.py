@@ -137,8 +137,9 @@ def _decl(state, ops):
 
 
 def _cltd(state, ops):
-    eax = wordops.to_signed(state.get_reg("%eax"), WORD)
-    state.set_reg("%edx", 0xFFFFFFFF if eax < 0 else 0)
+    # Sign-extend %eax into %edx: branch-free so symbolic states pass
+    # through (all-ones when the sign bit is set, zero otherwise).
+    state.set_reg("%edx", wordops.shr_arith(state.get_reg("%eax"), 31, WORD))
 
 
 def _idivl(state, ops):
@@ -246,9 +247,9 @@ def build_isa():
         ("addl", wordops.add),
         ("subl", wordops.sub),
         ("imull", wordops.mul),
-        ("andl", lambda a, b, w: a & b),
-        ("orl", lambda a, b, w: a | b),
-        ("xorl", lambda a, b, w: a ^ b),
+        ("andl", wordops.band),
+        ("orl", wordops.bor),
+        ("xorl", wordops.bxor),
     ]:
         define(
             mnemonic,

@@ -6,16 +6,40 @@ the use of ``enquire`` for exactly this purpose).  All register and memory
 values are stored as unsigned Python ints masked to the word width; these
 helpers convert between signed/unsigned views and implement C's
 truncating division.
+
+Every helper also accepts *symbolic* operands: any argument exposing a
+``__sym_apply__(name, args, bits)`` method (see
+:mod:`repro.analysis.symexec`) is given the operation to interpret in its
+own domain.  The concrete integer path stays first and branch-free so the
+simulators pay only a ``type() is int`` check.
 """
+
+
+def _applier(args):
+    """The ``__sym_apply__`` hook of the first symbolic argument, if any."""
+    for arg in args:
+        fn = getattr(arg, "__sym_apply__", None)
+        if fn is not None:
+            return fn
+    return None
 
 
 def mask(value, bits):
     """Truncate *value* to an unsigned *bits*-wide integer."""
+    if type(value) is int:
+        return value & ((1 << bits) - 1)
+    apply = _applier((value,))
+    if apply is not None:
+        return apply("mask", (value,), bits)
     return value & ((1 << bits) - 1)
 
 
 def to_signed(value, bits):
     """Interpret an unsigned *bits*-wide integer as two's complement."""
+    if type(value) is not int:
+        apply = _applier((value,))
+        if apply is not None:
+            return apply("to_signed", (value,), bits)
     value = mask(value, bits)
     if value >= 1 << (bits - 1):
         return value - (1 << bits)
@@ -29,6 +53,10 @@ def to_unsigned(value, bits):
 
 def c_div(a, b):
     """C integer division: truncation toward zero (Python's ``//`` floors)."""
+    if type(a) is not int or type(b) is not int:
+        apply = _applier((a, b))
+        if apply is not None:
+            return apply("c_div", (a, b), None)
     q = abs(a) // abs(b)
     if (a < 0) != (b < 0):
         q = -q
@@ -37,49 +65,128 @@ def c_div(a, b):
 
 def c_mod(a, b):
     """C integer remainder: ``a - c_div(a, b) * b`` (sign follows *a*)."""
+    if type(a) is not int or type(b) is not int:
+        apply = _applier((a, b))
+        if apply is not None:
+            return apply("c_mod", (a, b), None)
     return a - c_div(a, b) * b
 
 
 def shift_amount(count, bits):
     """Shift counts are taken modulo the word width, as most ISAs do."""
+    if type(count) is int:
+        return count % bits
+    apply = _applier((count,))
+    if apply is not None:
+        return apply("shift_amount", (count,), bits)
     return count % bits
 
 
 def add(a, b, bits):
+    if type(a) is int and type(b) is int:
+        return (a + b) & ((1 << bits) - 1)
+    apply = _applier((a, b))
+    if apply is not None:
+        return apply("add", (a, b), bits)
     return mask(a + b, bits)
 
 
 def sub(a, b, bits):
+    if type(a) is int and type(b) is int:
+        return (a - b) & ((1 << bits) - 1)
+    apply = _applier((a, b))
+    if apply is not None:
+        return apply("sub", (a, b), bits)
     return mask(a - b, bits)
 
 
 def mul(a, b, bits):
+    if type(a) is int and type(b) is int:
+        return (to_signed(a, bits) * to_signed(b, bits)) & ((1 << bits) - 1)
+    apply = _applier((a, b))
+    if apply is not None:
+        return apply("mul", (a, b), bits)
     return mask(to_signed(a, bits) * to_signed(b, bits), bits)
 
 
 def sdiv(a, b, bits):
+    apply = _applier((a, b))
+    if apply is not None:
+        return apply("sdiv", (a, b), bits)
     return mask(c_div(to_signed(a, bits), to_signed(b, bits)), bits)
 
 
 def smod(a, b, bits):
+    apply = _applier((a, b))
+    if apply is not None:
+        return apply("smod", (a, b), bits)
     return mask(c_mod(to_signed(a, bits), to_signed(b, bits)), bits)
 
 
 def neg(a, bits):
+    if type(a) is int:
+        return (-to_signed(a, bits)) & ((1 << bits) - 1)
+    apply = _applier((a,))
+    if apply is not None:
+        return apply("neg", (a,), bits)
     return mask(-to_signed(a, bits), bits)
 
 
 def bit_not(a, bits):
+    if type(a) is int:
+        return ~a & ((1 << bits) - 1)
+    apply = _applier((a,))
+    if apply is not None:
+        return apply("bit_not", (a,), bits)
     return mask(~a, bits)
 
 
+def band(a, b, bits):
+    """Bitwise AND over machine words."""
+    if type(a) is int and type(b) is int:
+        return (a & b) & ((1 << bits) - 1)
+    apply = _applier((a, b))
+    if apply is not None:
+        return apply("band", (a, b), bits)
+    return mask(a & b, bits)
+
+
+def bor(a, b, bits):
+    """Bitwise OR over machine words."""
+    if type(a) is int and type(b) is int:
+        return (a | b) & ((1 << bits) - 1)
+    apply = _applier((a, b))
+    if apply is not None:
+        return apply("bor", (a, b), bits)
+    return mask(a | b, bits)
+
+
+def bxor(a, b, bits):
+    """Bitwise XOR over machine words."""
+    if type(a) is int and type(b) is int:
+        return (a ^ b) & ((1 << bits) - 1)
+    apply = _applier((a, b))
+    if apply is not None:
+        return apply("bxor", (a, b), bits)
+    return mask(a ^ b, bits)
+
+
 def shl(a, b, bits):
+    apply = _applier((a, b))
+    if apply is not None:
+        return apply("shl", (a, b), bits)
     return mask(a << shift_amount(b, bits), bits)
 
 
 def shr_arith(a, b, bits):
+    apply = _applier((a, b))
+    if apply is not None:
+        return apply("shr_arith", (a, b), bits)
     return mask(to_signed(a, bits) >> shift_amount(b, bits), bits)
 
 
 def shr_logical(a, b, bits):
+    apply = _applier((a, b))
+    if apply is not None:
+        return apply("shr_logical", (a, b), bits)
     return mask(a, bits) >> shift_amount(b, bits)

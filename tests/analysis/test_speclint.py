@@ -116,3 +116,50 @@ class TestRenderFormats:
         rules = sarif["runs"][0]["tool"]["driver"]["rules"]
         assert any(rule["id"] == "SPEC001" for rule in rules)
         assert len(sarif["runs"][0]["results"]) == len(diags)
+
+
+class TestModelAssistedLint:
+    """lint_spec(spec, model=...) swaps the def/use oracle from the
+    semantics-table merge to exact symbolic profiles; both modes must
+    agree that real discovered specs are clean, and the symbolic
+    profiles must match the targets' documented operand behavior."""
+
+    def test_pristine_specs_clean_in_both_modes(self, report):
+        from repro.analysis.verify import build_model
+
+        plain = lint_spec(report.spec)
+        model = lint_spec(report.spec, model=build_model(report.spec.target))
+        assert not [d for d in plain if d.severity == "error"]
+        assert not [d for d in model if d.severity == "error"]
+
+    def test_symbolic_profiles_are_exact(self):
+        from repro.analysis.verify import build_model, template_def_use
+        from repro.discovery.asmmodel import DInstr, DMem, Slot
+
+        x86 = build_model("x86")
+        uses, defs, ireads, iwrites = template_def_use(
+            x86, DInstr("addl", [Slot("right"), Slot("result")])
+        )
+        assert (uses, defs) == ({0, 1}, {1})  # two-address add
+        uses, defs, _r, _w = template_def_use(
+            x86, DInstr("cmpl", [Slot("left"), Slot("right")])
+        )
+        assert (uses, defs) == ({0, 1}, set())  # compare writes only cc
+
+        mips = build_model("mips")
+        uses, defs, _r, _w = template_def_use(
+            mips, DInstr("lw", [Slot("dest"), DMem("paren", "$sp", 112)])
+        )
+        assert (uses, defs) == ({1}, {0})  # load: mem in, reg out
+        uses, defs, _r, _w = template_def_use(
+            mips, DInstr("addu", [Slot("result"), Slot("left"), Slot("right")])
+        )
+        assert (uses, defs) == ({1, 2}, {0})  # three-address add
+
+    def test_control_flow_falls_back_to_table(self):
+        from repro.analysis.verify import build_model, template_def_use
+        from repro.discovery.asmmodel import DInstr, DSym
+
+        x86 = build_model("x86")
+        profile = template_def_use(x86, DInstr("jmp", [DSym("target")]))
+        assert profile is None  # symbolic domain refuses control flow

@@ -1,0 +1,208 @@
+"""The word-level symbolic domain behind the spec verifier.
+
+The proof side of translation validation is structural equality of
+normalized terms, so the normalizer's congruence rules (dropping
+redundant mask/tosigned wrappers), the interval and known-bits
+abstractions that license those drops, and the deterministic
+counterexample sampler are each pinned here in isolation.
+"""
+
+import random
+
+from repro import wordops
+from repro.analysis.symexec import (
+    Const,
+    SymbolicEscape,
+    Var,
+    binop,
+    candidate_values,
+    evaluate,
+    fresh,
+    interval,
+    known_bits,
+    mask,
+    ranked_product,
+    term_vars,
+    tosigned,
+    unop,
+)
+
+A = Var("a")
+B = Var("b")
+
+
+class TestFolding:
+    def test_constants_fold(self):
+        assert binop("add", Const(2), Const(3)) == Const(5)
+        assert binop("mul", Const(-4), Const(5)) == Const(-20)
+        assert unop("neg", Const(7)) == Const(-7)
+
+    def test_commutative_operands_are_canonicalized(self):
+        assert binop("add", B, A) == binop("add", A, B)
+        assert binop("xor", Const(3), A) == binop("xor", A, Const(3))
+
+    def test_identity_elements(self):
+        assert binop("add", A, Const(0)) == A
+        assert binop("mul", A, Const(1)) == A
+        assert binop("xor", A, Const(0)) == A
+
+    def test_mask_of_constant_folds(self):
+        assert mask(Const(-1), 32) == Const(0xFFFFFFFF)
+        assert mask(Const(1 << 40), 32) == Const(0)
+
+    def test_tosigned_of_constant_folds(self):
+        assert tosigned(Const(0xFFFFFFFF), 32) == Const(-1)
+        assert tosigned(Const(5), 32) == Const(5)
+
+
+class TestCongruenceNormalization:
+    """mask/tosigned wrappers that cannot change the value mod 2^bits
+    are dropped, so codegen-order differences normalize away."""
+
+    def test_inner_mask_dropped_under_mask(self):
+        wrapped = mask(binop("add", mask(A, 32), B), 32)
+        plain = mask(binop("add", A, B), 32)
+        assert wrapped == plain
+
+    def test_inner_tosigned_dropped_under_mask(self):
+        assert mask(binop("sub", tosigned(A, 32), B), 32) == mask(
+            binop("sub", A, B), 32
+        )
+
+    def test_tosigned_drops_inner_mask(self):
+        assert tosigned(mask(A, 32), 32) == tosigned(A, 32)
+
+    def test_narrower_mask_survives(self):
+        # mask to 8 bits genuinely changes the value mod 2^32
+        assert mask(binop("add", mask(A, 8), B), 32) != mask(
+            binop("add", A, B), 32
+        )
+
+    def test_shift_count_does_not_transmit_congruence(self):
+        # shl's *count* operand is not reduced mod the word, only the
+        # shifted value is
+        inner = binop("shl", mask(A, 32), mask(B, 32))
+        outer = mask(inner, 32)
+        assert ("mask", ("var", "b"), 32) in _subterms(outer)
+
+    def test_normalization_is_sound_on_concretes(self):
+        rng = random.Random(1997)
+        wrapped = mask(binop("mul", tosigned(mask(A, 32), 32), B), 32)
+        plain = mask(binop("mul", A, B), 32)
+        assert wrapped == plain
+        for _ in range(50):
+            env = {"a": rng.randrange(-(2**40), 2**40),
+                   "b": rng.randrange(-(2**40), 2**40)}
+            lhs = evaluate(wrapped, env)
+            rhs = (env["a"] * env["b"]) & 0xFFFFFFFF
+            assert lhs == rhs
+
+
+def _subterms(term):
+    out = [term]
+    if isinstance(term, tuple) and term[0] not in ("const", "var"):
+        for arg in term[1:]:
+            if isinstance(arg, tuple):
+                out.extend(_subterms(arg))
+    return out
+
+
+class TestInterval:
+    def test_mask_bounds(self):
+        assert interval(mask(A, 8)) == (0, 255)
+
+    def test_add_joins(self):
+        term = binop("add", mask(A, 8), Const(10))
+        assert interval(term) == (10, 265)
+
+    def test_tosigned_bounds(self):
+        assert interval(tosigned(A, 16)) == (-32768, 32767)
+
+    def test_var_unbounded(self):
+        assert interval(A) == (None, None)
+
+    def test_bounded_term_needs_no_mask_wrapper(self):
+        # a term already inside [0, 2^32) keeps its shape under mask
+        term = binop("add", mask(A, 8), mask(B, 8))
+        assert mask(term, 32) == term
+
+
+class TestKnownBits:
+    def test_const_fully_known(self):
+        assert known_bits(Const(0b1010), 8) == (0xFF, 0b1010)
+
+    def test_var_unknown(self):
+        assert known_bits(A, 8) == (0, 0)
+
+    def test_and_with_mask_constant(self):
+        known, value = known_bits(binop("and", A, Const(0b11)), 8)
+        assert known & 0b11111100 == 0b11111100
+        assert value & 0b11111100 == 0
+
+    def test_shl_pins_low_bits(self):
+        known, value = known_bits(binop("shl", A, Const(3)), 8)
+        assert known & 0b111 == 0b111
+        assert value & 0b111 == 0
+
+    def test_xor_of_same_unknowns_keeps_common_known_bits(self):
+        term = binop("xor", binop("and", A, Const(1)), binop("and", B, Const(1)))
+        known, _value = known_bits(term, 8)
+        assert known & ~1 == 0xFE  # everything above bit 0 known zero
+
+
+class TestEvaluate:
+    def test_matches_wordops_pipeline(self):
+        # build the same computation symbolically and concretely
+        a, b = fresh("a"), fresh("b")
+        bits = 32
+        sym = wordops.add(wordops.mask(a, bits), wordops.mask(b, bits), bits)
+        for left, right in ((5, 7), (-1, 1), (2**31 - 1, 1)):
+            got = evaluate(sym.term, {"a": left, "b": right})
+            assert got == wordops.add(left, right, bits)
+
+    def test_term_vars(self):
+        a, b = fresh("a"), fresh("b")
+        sym = wordops.sub(a, b, 32)
+        assert term_vars(sym.term) == {"a", "b"}
+
+
+class TestSymbolicEscapes:
+    def test_branching_on_comparison_escapes(self):
+        a = fresh("a")
+        try:
+            if a == 3:
+                pass
+            raised = False
+        except SymbolicEscape:
+            raised = True
+        assert raised
+
+    def test_division_by_symbol_survives_as_term(self):
+        a = fresh("a")
+        out = wordops.sdiv(10, a, 32)
+        assert term_vars(out.term) == {"a"}
+
+
+class TestSampler:
+    def test_deterministic_under_fixed_seed(self):
+        one = candidate_values(32, random.Random("x86:rules[Plus]"))
+        two = candidate_values(32, random.Random("x86:rules[Plus]"))
+        assert one == two
+
+    def test_simplest_values_lead(self):
+        values = candidate_values(32, random.Random(0))
+        assert values[:4] == [0, 1, 2, -1]
+
+    def test_values_stay_in_word_window(self):
+        half = 1 << 31
+        for value in candidate_values(32, random.Random(3), extra=(9999,)):
+            assert -half <= value < 2 * half
+
+    def test_ranked_product_orders_by_total_rank(self):
+        pairs = list(ranked_product([[0, 1, 2], [0, 1, 2]]))
+        assert pairs[0] == (0, 0)
+        ranks = [a + b for a, b in pairs]
+        assert ranks == sorted(ranks)
+
+    def test_ranked_product_respects_limit(self):
+        assert len(list(ranked_product([[0, 1], [0, 1]], limit=3))) == 3
