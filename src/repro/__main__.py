@@ -12,9 +12,13 @@
                              [--heartbeat-every S] [--lease-timeout S]
                              [--chaos-kills N --chaos-seed N]
     python -m repro serve --root DIR [--host H --port P] [--fleet N]
-    python -m repro client --url URL submit <target>... [--wait]
+                          [--clients FILE] [--max-backlog N]
+                          [--cache-max-bytes B --cache-max-age S]
+                          [--gc-interval S] [--drain-timeout S]
+    python -m repro client --url URL [--token T] submit <target>...
+                          [--priority N] [--deadline-s S] [--wait]
     python -m repro client --url URL status|wait|spec|cancel JOB_ID
-    python -m repro client --url URL stats|jobs
+    python -m repro client --url URL stats|jobs|readyz
     python -m repro cache-info DIR [--json]
     python -m repro migrate-run RUNDIR
     python -m repro retarget <target>... --program FILE.a
@@ -157,9 +161,14 @@ def _discover_cache(args, config=None):
     manifest = config or {}
     url = args.cache_url or manifest.get("cache_url")
     if url:
+        import os
+
+        from repro.service.app import FLEET_TOKEN_ENV
         from repro.service.cache_client import RemoteProbeCache
 
-        return RemoteProbeCache(url)
+        # the service's own fleet hands its workers a token via the
+        # environment (never argv); operators can set it the same way
+        return RemoteProbeCache(url, token=os.environ.get(FLEET_TOKEN_ENV))
     return args.cache_dir or manifest.get("cache_dir")
 
 
@@ -589,10 +598,21 @@ def _cmd_cache_info(args):
         f"{info['total_corrupt_lines']} corrupt line(s) "
         f"across {len(info['shards'])} shard(s)"
     )
+    gc = info.get("gc")
+    if gc:
+        print(
+            f"  gc: {gc.get('runs', 0)} run(s), "
+            f"{gc.get('evicted_shards', 0)} shard(s) evicted, "
+            f"{gc.get('reclaimed_bytes', 0)} byte(s) reclaimed, "
+            f"{gc.get('compacted_shards', 0)} compaction(s)"
+        )
     return 0
 
 
 def _cmd_serve(args):
+    import signal
+    import threading
+
     from repro.service.app import DiscoveryService
     from repro.service.httpd import serve
 
@@ -603,6 +623,11 @@ def _cmd_serve(args):
         heartbeat_every=args.heartbeat_every,
         lease_timeout=args.lease_timeout,
         poll_interval=args.poll_interval,
+        clients_file=args.clients,
+        max_backlog=args.max_backlog,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_max_age_s=args.cache_max_age,
+        gc_interval=args.gc_interval,
     )
     server = serve(service, host=args.host, port=args.port)
     adopted = service.adopt()
@@ -614,13 +639,37 @@ def _cmd_serve(args):
         f"(root {service.root}, fleet {service.fleet})",
         flush=True,
     )
+
+    # SIGTERM/SIGINT start a graceful drain: admission closes (readyz
+    # goes 503, new submissions are refused), every worker gets SIGINT
+    # and persists a durable checkpoint, then the listener stops.  Job
+    # states stay open on disk, so the next `repro serve --root` adopts
+    # and finishes them with bit-for-bit identical specs.
+    drain_state = {"requested": False}
+
+    def _request_drain(signum, frame):
+        if drain_state["requested"]:
+            return  # a second signal while draining: stay the course
+        drain_state["requested"] = True
+
+        def _runner():
+            service.drain(timeout=args.drain_timeout)
+            server.shutdown()
+
+        threading.Thread(target=_runner, name="drain", daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _request_drain)
+    signal.signal(signal.SIGINT, _request_drain)
     try:
         server.serve_forever(poll_interval=0.2)
     except KeyboardInterrupt:
         print("\nshutting down", file=sys.stderr)
     finally:
-        service.stop()
+        if not drain_state["requested"]:
+            service.stop()
         server.server_close()
+    if drain_state["requested"]:
+        print("drain complete; exiting", flush=True)
     return 0
 
 
@@ -659,7 +708,10 @@ def _cmd_client(args):
 
     from repro.service.client import ServiceClient, ServiceError
 
-    client = ServiceClient(args.url)
+    import os
+
+    token = args.token or os.environ.get("REPRO_SERVICE_TOKEN")
+    client = ServiceClient(args.url, token=token)
     try:
         if args.action == "submit":
             job = client.submit(
@@ -668,6 +720,8 @@ def _cmd_client(args):
                 workers=args.workers,
                 max_attempts=args.max_attempts,
                 escalate_votes=args.escalate_votes,
+                priority=args.priority,
+                deadline_s=args.deadline_s,
             )
             print(json.dumps(job, indent=2, sort_keys=True))
             if args.wait:
@@ -701,6 +755,9 @@ def _cmd_client(args):
             return 0
         if args.action == "jobs":
             print(json.dumps(client.jobs(), indent=2, sort_keys=True))
+            return 0
+        if args.action == "readyz":
+            print(json.dumps(client.readyz(), indent=2, sort_keys=True))
             return 0
         raise AssertionError(f"unhandled client action {args.action!r}")
     except ServiceError as exc:
@@ -978,12 +1035,46 @@ def main(argv=None):
         "--poll-interval", type=float, default=0.2, metavar="SECONDS",
         help="fleet loop tick (default: 0.2)",
     )
+    p_serve.add_argument(
+        "--clients", default=None, metavar="FILE",
+        help="clients.json tenant table (default: ROOT/clients.json; "
+        "absent file = open mode, no auth)",
+    )
+    p_serve.add_argument(
+        "--max-backlog", type=int, default=None, metavar="N",
+        help="admission watermark: open targets beyond this are shed "
+        "with a 503 (default: fleet * 8)",
+    )
+    p_serve.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help="probe-cache size bound: GC evicts least-recently-touched "
+        "shards above this (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--cache-max-age", type=float, default=None, metavar="SECONDS",
+        help="probe-cache age bound: shards untouched this long are "
+        "evicted (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--gc-interval", type=float, default=60.0, metavar="SECONDS",
+        help="cache GC cadence inside the fleet loop (default: 60)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=15.0, metavar="SECONDS",
+        help="on SIGTERM/SIGINT, wait this long for workers to "
+        "checkpoint before SIGKILLing stragglers (default: 15)",
+    )
 
     p_client = sub.add_parser(
         "client", help="talk to a running discovery service"
     )
     p_client.add_argument(
         "--url", required=True, metavar="URL", help="service base URL"
+    )
+    p_client.add_argument(
+        "--token", default=None, metavar="TOKEN",
+        help="bearer token for an auth-enabled service "
+        "(default: $REPRO_SERVICE_TOKEN)",
     )
     client_sub = p_client.add_subparsers(dest="action", required=True)
     c_submit = client_sub.add_parser("submit", help="submit a campaign")
@@ -994,6 +1085,15 @@ def main(argv=None):
     )
     c_submit.add_argument("--max-attempts", type=int, default=None, metavar="N")
     c_submit.add_argument("--escalate-votes", type=int, default=None, metavar="N")
+    c_submit.add_argument(
+        "--priority", type=int, default=None, metavar="N",
+        help="queue priority, -100..100 (higher runs first; default 0)",
+    )
+    c_submit.add_argument(
+        "--deadline-s", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; an unfinished job expires with partial "
+        "specs salvaged",
+    )
     c_submit.add_argument(
         "--wait", action="store_true", help="poll until the job finishes"
     )
@@ -1020,6 +1120,9 @@ def main(argv=None):
             )
     client_sub.add_parser("stats", help="service queue/fleet/cache counters")
     client_sub.add_parser("jobs", help="list every job record")
+    client_sub.add_parser(
+        "readyz", help="readiness probe (non-zero while draining/starting)"
+    )
 
     p_retarget = sub.add_parser(
         "retarget", help="retarget ac and validate a program on each target"

@@ -143,10 +143,28 @@ class ProbeCache:
         self.directory = pathlib.Path(directory) if directory else None
         self.max_entries = max_entries
         self.stats = CacheStats()
+        #: shard-GC lifetime counters (see :meth:`gc`)
+        self.gc_stats = {
+            "runs": 0,
+            "evicted_shards": 0,
+            "reclaimed_bytes": 0,
+            "compacted_shards": 0,
+            "last": None,
+        }
         self._entries = OrderedDict()  # key -> payload dict (LRU order)
         self._loaded_shards = set()  # fingerprints already read from disk
         self._dirty_shards = set()  # fingerprints needing compaction
+        self._touched = {}  # fingerprint -> wall-clock stamp of last use
         self._lock = threading.RLock()
+
+    @staticmethod
+    def _wall_now():
+        """Retention ages are compared against shard file mtimes, so
+        the wall clock is the only coherent reference.  Venue-only: GC
+        decides what the cache *retains*, never what a probe answers."""
+        import time
+
+        return time.time()  # detlint: ok[DET003] - venue-only retention clock
 
     # -- the store ----------------------------------------------------
 
@@ -155,6 +173,7 @@ class ProbeCache:
         key = f"{fingerprint}:{verb}:{content_hash}"
         with self._lock:
             self._ensure_shard(fingerprint)
+            self._touched[fingerprint] = self._wall_now()
             payload = self._entries.get(key)
             if isinstance(payload, dict):
                 self._entries.move_to_end(key)
@@ -172,6 +191,7 @@ class ProbeCache:
         key = f"{fingerprint}:{verb}:{content_hash}"
         with self._lock:
             self._ensure_shard(fingerprint)
+            self._touched[fingerprint] = self._wall_now()
             if key in self._entries:
                 return
             self._entries[key] = payload
@@ -186,17 +206,37 @@ class ProbeCache:
         """Compact shards that lost entries to eviction."""
         with self._lock:
             for fingerprint in sorted(self._dirty_shards):
-                path = self._shard_path(fingerprint)
-                if path is None:
-                    continue
-                prefix = f"{fingerprint}:"
-                lines = [
-                    json.dumps({"k": key, "verb": key.split(":")[1], "v": payload})
-                    for key, payload in self._entries.items()
-                    if key.startswith(prefix)
-                ]
-                path.write_text("".join(line + "\n" for line in lines))
+                self._compact(fingerprint)
             self._dirty_shards.clear()
+
+    def _compact(self, fingerprint):
+        """Rewrite one shard file from the live entries (the same
+        machinery :meth:`close` and :meth:`gc` share)."""
+        path = self._shard_path(fingerprint)
+        if path is None:
+            return
+        prefix = f"{fingerprint}:"
+        lines = [
+            json.dumps({"k": key, "verb": key.split(":")[1], "v": payload})
+            for key, payload in self._entries.items()
+            if key.startswith(prefix)
+        ]
+        path.write_text("".join(line + "\n" for line in lines))
+
+    def shard_entries(self, fingerprint):
+        """Every live entry of one shard, ``{"verb:hash": payload}`` --
+        the whole-shard read behind the batched ``/cache/batch``
+        endpoint.  Deliberately not counted as hits or misses: a bulk
+        snapshot is transport, not a probe lookup."""
+        prefix = f"{fingerprint}:"
+        with self._lock:
+            self._ensure_shard(fingerprint)
+            self._touched[fingerprint] = self._wall_now()
+            return {
+                key[len(prefix):]: payload
+                for key, payload in self._entries.items()
+                if key.startswith(prefix)
+            }
 
     def describe(self):
         where = str(self.directory) if self.directory else "(in-memory)"
@@ -231,6 +271,128 @@ class ProbeCache:
 
     def __len__(self):
         return len(self._entries)
+
+    # -- shard GC -----------------------------------------------------
+
+    GC_SIDECAR = "gc-stats.json"
+
+    def _shard_inventory(self):
+        """Every shard the store knows about -- loaded or still only on
+        disk -- with its size and last-touch time (in-memory touch
+        beats file mtime, which covers shards written by earlier
+        service runs)."""
+        inventory = {}
+        if self.directory is not None and self.directory.exists():
+            for path in sorted(self.directory.glob("probes-*.jsonl")):
+                fingerprint = path.stem[len("probes-"):]
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                inventory[fingerprint] = {
+                    "bytes": stat.st_size,
+                    "last_touch": stat.st_mtime,
+                }
+        for fingerprint, stamp in self._touched.items():
+            shard = inventory.setdefault(
+                fingerprint, {"bytes": 0, "last_touch": stamp}
+            )
+            shard["last_touch"] = max(shard["last_touch"], stamp)
+        return inventory
+
+    def _evict_shard(self, fingerprint):
+        prefix = f"{fingerprint}:"
+        for key in [k for k in self._entries if k.startswith(prefix)]:
+            del self._entries[key]
+        self._loaded_shards.discard(fingerprint)
+        self._dirty_shards.discard(fingerprint)
+        self._touched.pop(fingerprint, None)
+        path = self._shard_path(fingerprint)
+        if path is not None:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def gc(self, max_bytes=None, max_age_s=None, pinned=(), now=None):
+        """Bound the store: drop whole shards, LRU by fingerprint.
+
+        Two independent retention rules, both venue-only (a dropped
+        shard costs re-probing, never a different answer):
+
+        * **age** -- a shard untouched for more than *max_age_s*
+          seconds is dropped (a target nobody discovers against any
+          more should not hold disk forever);
+        * **size** -- while the shard files sum to more than
+          *max_bytes*, the least-recently-touched shard is dropped.
+
+        Fingerprints in *pinned* (targets with campaigns currently
+        running) are never dropped by either rule.  Dirty-but-retained
+        shards are compacted in the same pass, so eviction debt does
+        not wait for :meth:`close`.  Returns a report dict; lifetime
+        counters accumulate in :attr:`gc_stats`, and a persistent
+        store journals the report to ``gc-stats.json`` so ``repro
+        cache-info`` can show GC history for a cache nobody holds
+        open."""
+        pinned = set(pinned)
+        with self._lock:
+            if now is None:
+                now = self._wall_now()
+            inventory = self._shard_inventory()
+            evicted, reclaimed = [], 0
+            if max_age_s is not None:
+                for fingerprint, shard in sorted(inventory.items()):
+                    if fingerprint in pinned:
+                        continue
+                    if now - shard["last_touch"] > max_age_s:
+                        self._evict_shard(fingerprint)
+                        evicted.append(fingerprint)
+                        reclaimed += shard["bytes"]
+            if max_bytes is not None:
+                live = {
+                    fp: shard
+                    for fp, shard in inventory.items()
+                    if fp not in evicted
+                }
+                total = sum(shard["bytes"] for shard in live.values())
+                # oldest-touched first; fingerprint tie-break for
+                # determinism when stamps collide
+                for fingerprint, shard in sorted(
+                    live.items(), key=lambda item: (item[1]["last_touch"], item[0])
+                ):
+                    if total <= max_bytes:
+                        break
+                    if fingerprint in pinned:
+                        continue
+                    self._evict_shard(fingerprint)
+                    evicted.append(fingerprint)
+                    reclaimed += shard["bytes"]
+                    total -= shard["bytes"]
+            compacted = sorted(self._dirty_shards)
+            for fingerprint in compacted:
+                self._compact(fingerprint)
+            self._dirty_shards.clear()
+            report = {
+                "evicted_shards": evicted,
+                "reclaimed_bytes": reclaimed,
+                "compacted_shards": len(compacted),
+                "pinned": sorted(pinned),
+                "shards_kept": len(inventory) - len(evicted),
+            }
+            self.gc_stats["runs"] += 1
+            self.gc_stats["evicted_shards"] += len(evicted)
+            self.gc_stats["reclaimed_bytes"] += reclaimed
+            self.gc_stats["compacted_shards"] += len(compacted)
+            self.gc_stats["last"] = report
+            if self.directory is not None:
+                try:
+                    self.directory.mkdir(parents=True, exist_ok=True)
+                    (self.directory / self.GC_SIDECAR).write_text(
+                        json.dumps(self.gc_stats, indent=2, sort_keys=True) + "\n"
+                    )
+                except OSError:
+                    pass  # GC bookkeeping must never fail the store
+            return report
 
     # -- persistence --------------------------------------------------
 
@@ -517,10 +679,16 @@ def cache_info(directory):
                 "by_verb": by_verb,
             }
         )
+    gc_stats = None
+    try:
+        gc_stats = json.loads((directory / ProbeCache.GC_SIDECAR).read_text())
+    except (OSError, ValueError):
+        pass
     return {
         "directory": str(directory),
         "shards": shards,
         "total_entries": sum(s["entries"] for s in shards),
         "total_bytes": sum(s["bytes"] for s in shards),
         "total_corrupt_lines": sum(s["corrupt_lines"] for s in shards),
+        "gc": gc_stats,
     }

@@ -265,6 +265,7 @@ class CampaignSupervisor:
         heartbeat_every=None,
         kill_plan=None,
         worker_args=(),
+        worker_env=None,
         echo=print,
     ):
         if not targets:
@@ -281,6 +282,10 @@ class CampaignSupervisor:
         #: extra argv appended to *fresh* worker launches only (resumed
         #: workers take their configuration from the run manifest)
         self.worker_args = list(worker_args)
+        #: extra environment for every worker launch (the service uses
+        #: this to hand its fleet cache token over -- env, never argv,
+        #: so `ps` cannot leak it)
+        self.worker_env = dict(worker_env or {})
         self.echo = echo
         self.campaigns = [Campaign(t, self.root / t) for t in targets]
         self.started = None  # monotonic, set by run()
@@ -332,6 +337,7 @@ class CampaignSupervisor:
         env["PYTHONPATH"] = (
             package_parent + os.pathsep + existing if existing else package_parent
         )
+        env.update(self.worker_env)
         return env
 
     # -- lifecycle -------------------------------------------------------
@@ -600,6 +606,36 @@ class CampaignSupervisor:
         every open campaign incomplete (with partial spec)."""
         for campaign in self._open():
             self._mark_incomplete(campaign, reason)
+
+    def interrupt_workers(self, timeout=10.0):
+        """Graceful worker stop, for service drain: SIGINT every active
+        worker (the discover CLI persists a checkpoint and exits on
+        KeyboardInterrupt), wait up to *timeout* for the fleet to land,
+        SIGKILL stragglers.  Campaign and job states are deliberately
+        left *running* -- the run directories are one ``--resume`` from
+        continuing, which is exactly what restart adoption does."""
+        interrupted = []
+        for campaign in self._active():
+            if campaign.process is None:
+                continue
+            try:
+                os.kill(campaign.process.pid, signal.SIGINT)
+            except OSError:
+                continue
+            interrupted.append(campaign)
+        deadline = time.monotonic() + timeout
+        for campaign in interrupted:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                campaign.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                try:
+                    os.kill(campaign.process.pid, signal.SIGKILL)
+                except OSError:
+                    pass
+                campaign.process.wait()
+            campaign.process = None
+        return len(interrupted)
 
     def cancel(self, reason="cancelled"):
         """Client-requested teardown: SIGKILL active workers, mark every

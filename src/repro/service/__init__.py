@@ -28,20 +28,30 @@ The pieces, bottom up:
   service's warm entries.
 * :mod:`repro.service.client` -- :class:`~repro.service.client.
   ServiceClient` and the ``repro client`` CLI: submit, poll with
-  backoff, fetch specs, cancel.
+  backoff (honouring the server's Retry-After), fetch specs, cancel.
+* :mod:`repro.service.auth` -- tenants and refusals: the
+  ``clients.json`` registry, per-client quotas, and the typed
+  :class:`~repro.service.auth.ApiError` envelope (401/403/429/503)
+  the hardening layer speaks.
 
 Everything spec-affecting stays in the workers: the service only ever
-touches venue knobs (scheduling, caching, worker sizing), so a spec
-fetched over HTTP is bit-for-bit the spec a direct ``repro discover``
-of the same target and seed would print.
+touches venue knobs (scheduling, caching, worker sizing, admission,
+quotas, retention), so a spec fetched over HTTP is bit-for-bit the
+spec a direct ``repro discover`` of the same target and seed would
+print -- and a spec finished after a drain/restart is bit-for-bit the
+spec an uninterrupted service would have produced.
 """
 
 from repro.service.app import DiscoveryService
+from repro.service.auth import ApiError, Client, ClientRegistry
 from repro.service.cache_client import RemoteProbeCache
 from repro.service.client import ServiceClient
 from repro.service.jobs import JobStore
 
 __all__ = [
+    "ApiError",
+    "Client",
+    "ClientRegistry",
     "DiscoveryService",
     "JobStore",
     "RemoteProbeCache",

@@ -1,0 +1,227 @@
+"""Client identity, quotas, and the typed API-error envelope.
+
+The control plane is multi-tenant the moment two clients share one
+``repro serve``; this module owns who a request *is* and what it may
+cost the service:
+
+* :class:`ApiError` -- the one exception the HTTP layer translates
+  into a status code + ``{"error": {...}}`` envelope.  Every refusal
+  the hardening layer makes (401 unauthenticated, 403 forbidden, 429
+  quota, 503 overloaded/draining) is an ``ApiError`` with an explicit
+  status, a stable machine-readable ``code``, and -- for the retryable
+  ones -- a ``Retry-After`` hint the client backoff honours.
+* :class:`Client` -- one tenant: a bearer token plus its quota knobs
+  (queued jobs, concurrent targets, cache writes).  ``None`` for any
+  quota means unlimited.
+* :class:`ClientRegistry` -- the ``clients.json`` root file, reloaded
+  on mtime change so an operator can rotate tokens or tighten quotas
+  without a restart.  **No file means open mode**: every request maps
+  to one anonymous unlimited client, which is exactly the PR-7
+  behaviour -- auth is opt-in by dropping the file in the service
+  root.  The service's own fleet workers authenticate with a
+  process-local token (:meth:`ClientRegistry.issue_fleet_token`)
+  handed to them via the environment, never argv, so ``ps`` cannot
+  leak it.
+
+``clients.json`` shape::
+
+    {
+      "clients": [
+        {"name": "alice", "token": "s3cret",
+         "max_queued_jobs": 4, "max_concurrent_targets": 8,
+         "max_cache_writes": 200000, "admin": false}
+      ]
+    }
+
+Everything here is venue: admission, identity and quotas decide *when*
+a campaign runs, never what it discovers, so no check in this module
+can change a spec.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import secrets
+from dataclasses import dataclass
+
+from repro.errors import DiscoveryError
+
+#: per-client defaults applied when clients.json omits a knob
+DEFAULT_MAX_QUEUED_JOBS = 8
+DEFAULT_MAX_CONCURRENT_TARGETS = 16
+DEFAULT_MAX_CACHE_WRITES = 1_000_000
+
+
+class ApiError(DiscoveryError):
+    """A typed control-plane refusal: HTTP status, stable code, and an
+    optional Retry-After hint for the 429/503 family."""
+
+    def __init__(self, status, code, message, retry_after=None):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.retry_after = retry_after
+
+    def envelope(self):
+        body = {"code": self.code, "message": str(self)}
+        if self.retry_after is not None:
+            body["retry_after"] = self.retry_after
+        return {"error": body}
+
+
+@dataclass(frozen=True)
+class Client:
+    """One authenticated tenant and its spending limits."""
+
+    name: str
+    token: str | None = None
+    max_queued_jobs: int | None = DEFAULT_MAX_QUEUED_JOBS
+    max_concurrent_targets: int | None = DEFAULT_MAX_CONCURRENT_TARGETS
+    max_cache_writes: int | None = DEFAULT_MAX_CACHE_WRITES
+    admin: bool = False
+
+    def may_act_on(self, job):
+        """Ownership gate for mutating verbs (cancel) and spec fetch:
+        the submitting client, an admin, or a job from before auth was
+        enabled (no recorded owner)."""
+        owner = job.get("client")
+        return self.admin or owner is None or owner == self.name
+
+
+#: the open-mode identity: unlimited, owns everything
+ANONYMOUS = Client(
+    name="anonymous",
+    max_queued_jobs=None,
+    max_concurrent_targets=None,
+    max_cache_writes=None,
+    admin=True,
+)
+
+
+def _parse_clients(raw):
+    if not isinstance(raw, dict) or not isinstance(raw.get("clients"), list):
+        raise DiscoveryError('clients.json must be {"clients": [...]}')
+    clients = {}
+    for index, entry in enumerate(raw["clients"]):
+        if not isinstance(entry, dict):
+            raise DiscoveryError(f"clients[{index}] must be an object")
+        name, token = entry.get("name"), entry.get("token")
+        if not name or not isinstance(name, str):
+            raise DiscoveryError(f"clients[{index}]: a non-empty name is required")
+        if not token or not isinstance(token, str):
+            raise DiscoveryError(f"client {name!r}: a non-empty token is required")
+        if token in clients:
+            raise DiscoveryError(f"client {name!r}: duplicate token")
+
+        def _quota(key, default):
+            value = entry.get(key, default)
+            if value is None:
+                return None
+            try:
+                return max(0, int(value))
+            except (TypeError, ValueError):
+                raise DiscoveryError(
+                    f"client {name!r}: {key} must be an integer or null"
+                ) from None
+
+        clients[token] = Client(
+            name=name,
+            token=token,
+            max_queued_jobs=_quota("max_queued_jobs", DEFAULT_MAX_QUEUED_JOBS),
+            max_concurrent_targets=_quota(
+                "max_concurrent_targets", DEFAULT_MAX_CONCURRENT_TARGETS
+            ),
+            max_cache_writes=_quota("max_cache_writes", DEFAULT_MAX_CACHE_WRITES),
+            admin=bool(entry.get("admin", False)),
+        )
+    return clients
+
+
+class ClientRegistry:
+    """The tenant table, sourced from ``<root>/clients.json``.
+
+    The file is re-read whenever its mtime moves (token rotation
+    without a restart); a file that *becomes* unreadable keeps the
+    last good table rather than failing open or taking the service
+    down -- the operator sees ``reload_errors`` climb in ``/stats``.
+    """
+
+    def __init__(self, path=None):
+        self.path = pathlib.Path(path) if path else None
+        self._mtime = None
+        self._by_token = {}
+        self._fleet_tokens = {}
+        self.reload_errors = 0
+        if self.path is not None and self.path.exists():
+            self._load()  # strict at startup: a broken file fails loudly
+
+    @property
+    def open_mode(self):
+        """True when no clients.json governs this service."""
+        return not self._by_token
+
+    def _load(self):
+        stat = self.path.stat()
+        self._by_token = _parse_clients(json.loads(self.path.read_text()))
+        self._mtime = stat.st_mtime
+
+    def maybe_reload(self):
+        if self.path is None:
+            return
+        try:
+            exists = self.path.exists()
+            if not exists:
+                if self._by_token:
+                    # deleted clients.json drops the service back to
+                    # open mode -- the operator removed the gate
+                    self._by_token, self._mtime = {}, None
+                return
+            if self.path.stat().st_mtime != self._mtime:
+                self._load()
+        except (OSError, ValueError, DiscoveryError):
+            self.reload_errors += 1  # keep the last good table
+
+    def issue_fleet_token(self):
+        """A process-local token for the service's own workers: never
+        written to disk, unlimited quotas, dies with the process."""
+        token = secrets.token_hex(16)
+        self._fleet_tokens[token] = Client(
+            name="fleet",
+            token=token,
+            max_queued_jobs=None,
+            max_concurrent_targets=None,
+            max_cache_writes=None,
+            admin=True,
+        )
+        return token
+
+    def authenticate(self, authorization):
+        """Map an ``Authorization`` header to a :class:`Client`, or
+        raise a typed 401.  Open mode authenticates everyone as the
+        anonymous unlimited client."""
+        self.maybe_reload()
+        token = None
+        if authorization:
+            scheme, _, credential = authorization.partition(" ")
+            if scheme.lower() != "bearer" or not credential.strip():
+                raise ApiError(
+                    401, "unauthenticated", "Authorization must be 'Bearer <token>'"
+                )
+            token = credential.strip()
+        if token is not None and token in self._fleet_tokens:
+            return self._fleet_tokens[token]
+        if self.open_mode:
+            return ANONYMOUS
+        if token is None:
+            raise ApiError(
+                401, "unauthenticated", "a bearer token is required (clients.json)"
+            )
+        client = self._by_token.get(token)
+        if client is None:
+            raise ApiError(401, "unauthenticated", "unknown bearer token")
+        return client
+
+    def clients(self):
+        """The configured tenants, name order (for /stats)."""
+        return sorted(self._by_token.values(), key=lambda c: c.name)

@@ -29,25 +29,32 @@ POLL_FACTOR = 1.5
 
 class ServiceError(DiscoveryError):
     """A control-plane request failed; ``status`` and ``code`` carry
-    the server's typed verdict (0/"unreachable" for transport errors)."""
+    the server's typed verdict (0/"unreachable" for transport errors),
+    and ``retry_after`` the server's backoff hint when it sent one
+    (the 429/503 family)."""
 
-    def __init__(self, message, status=0, code="unreachable"):
+    def __init__(self, message, status=0, code="unreachable", retry_after=None):
         super().__init__(message)
         self.status = status
         self.code = code
+        self.retry_after = retry_after
 
 
 class ServiceClient:
-    def __init__(self, url, timeout=10.0):
+    def __init__(self, url, timeout=10.0, token=None):
         self.url = url.rstrip("/")
         if "//" not in self.url:
             self.url = f"http://{self.url}"
         self.timeout = timeout
+        self.token = token
 
     # -- the API -------------------------------------------------------
 
     def healthz(self):
         return self._request("GET", "/healthz")
+
+    def readyz(self):
+        return self._request("GET", "/readyz")
 
     def stats(self):
         return self._request("GET", "/stats")
@@ -77,7 +84,24 @@ class ServiceClient:
         deadline = None if timeout is None else time.monotonic() + timeout
         interval = POLL_START
         while True:
-            status = self.status(job_id)
+            try:
+                status = self.status(job_id)
+            except ServiceError as exc:
+                # a throttling or draining service tells us exactly how
+                # long to stand back; honour it instead of hammering
+                if exc.status not in (429, 503):
+                    raise
+                pause = exc.retry_after if exc.retry_after is not None else POLL_CAP
+                if deadline is not None:
+                    pause = min(pause, max(0.0, deadline - time.monotonic()))
+                    if time.monotonic() >= deadline:
+                        raise ServiceError(
+                            f"{job_id} unavailable after {timeout}s: {exc}",
+                            status=exc.status,
+                            code="timeout",
+                        ) from None
+                time.sleep(pause)
+                continue
             if on_progress is not None:
                 on_progress(status)
             if status["state"] in jobstates.TERMINAL_STATES:
@@ -96,6 +120,8 @@ class ServiceClient:
     def _request(self, method, path, body=None):
         data = None
         headers = {"Accept": "application/json"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -107,16 +133,26 @@ class ServiceClient:
                 return json.loads(resp.read())
         except urllib.error.HTTPError as exc:
             detail, code = exc.reason, "http_error"
+            retry_after = None
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
             try:
                 envelope = json.loads(exc.read())
                 detail = envelope["error"]["message"]
                 code = envelope["error"]["code"]
+                if retry_after is None:
+                    retry_after = envelope["error"].get("retry_after")
             except (ValueError, KeyError, TypeError):
                 pass
             raise ServiceError(
                 f"{method} {path} -> {exc.code}: {detail}",
                 status=exc.code,
                 code=code,
+                retry_after=retry_after,
             ) from None
         except (urllib.error.URLError, OSError, ValueError) as exc:
             raise ServiceError(

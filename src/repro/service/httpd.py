@@ -3,19 +3,30 @@
 Stdlib :class:`~http.server.ThreadingHTTPServer` + JSON bodies; every
 route is a thin translation onto a service method, and every error is
 a typed JSON envelope ``{"error": {"code", "message"}}`` with the
-matching status code -- clients never parse tracebacks.
+matching status code -- clients never parse tracebacks.  The 429/503
+family additionally carries a ``Retry-After`` header (mirrored in the
+envelope) so a well-behaved client backs off exactly as long as the
+service asks.
 
 Routes::
 
     GET    /healthz                         liveness (no service state)
+    GET    /readyz                          readiness (adopted, not draining)
     GET    /stats                           queue/fleet/cache counters
-    POST   /campaigns                       submit {targets, seed?, workers?, ...}
+    POST   /campaigns                       submit {targets, seed?, priority?, ...}
     GET    /campaigns                       all job records
     GET    /campaigns/<id>                  typed status + per-target progress
     GET    /campaigns/<id>/spec             finished specs {target: beg}
     DELETE /campaigns/<id>                  cancel
     GET    /cache/<fingerprint>/<verb>:<hash>   shared probe cache read
     PUT    /cache/<fingerprint>/<verb>:<hash>   shared probe cache write
+    POST   /cache/batch                     {fingerprint, keys|null} -> {entries}
+    PUT    /cache/batch                     {fingerprint, entries} -> {stored}
+
+Identity rides in ``Authorization: Bearer <token>``; only the health
+probes are unauthenticated (a load balancer has no token).  In open
+mode (no ``clients.json``) every request authenticates as the
+anonymous unlimited client, so a bare PR-7 deployment is unchanged.
 
 Keep-alive matters here: the worker-side cache client issues one
 request per probe verb, and reconnecting per probe would cost more
@@ -28,10 +39,12 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.service.auth import ApiError
 from repro.service.jobs import JobError
 
 #: request bodies above this are refused (a probe payload is ~1 KB; a
-#: submission is smaller -- anything huge is a mistake or a hostile)
+#: batch of them is bounded by the flush threshold -- anything huge is
+#: a mistake or a hostile)
 MAX_BODY = 8 * 1024 * 1024
 
 
@@ -71,18 +84,26 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def service(self):
         return self.server.service
 
-    def _send(self, status, payload):
+    def _send(self, status, payload, headers=None):
         body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
             "utf-8"
         )
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
     def _error(self, status, code, message):
         self._send(status, {"error": {"code": code, "message": str(message)}})
+
+    def _api_error(self, exc):
+        headers = {}
+        if exc.retry_after is not None:
+            headers["Retry-After"] = exc.retry_after
+        self._send(exc.status, exc.envelope(), headers=headers)
 
     def _body(self):
         length = int(self.headers.get("Content-Length") or 0)
@@ -96,6 +117,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except ValueError as exc:
             raise JobError(f"request body is not valid JSON: {exc}") from None
 
+    def _client(self):
+        """The authenticated tenant (raises a typed 401)."""
+        return self.service.authenticate(self.headers.get("Authorization"))
+
     def _route(self, method):
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         parts = [p for p in path.split("/") if p]
@@ -104,6 +129,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
             if handler is None:
                 return self._error(404, "not_found", f"no route {method} {path}")
             handler()
+        except ApiError as exc:
+            self._api_error(exc)
         except JobError as exc:
             status = 404 if "no such job" in str(exc) else 400
             if "no specs to fetch" in str(exc) or "already" in str(exc):
@@ -116,28 +143,74 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if method == "GET":
             if parts == ["healthz"]:
                 return lambda: self._send(200, {"ok": True})
+            if parts == ["readyz"]:
+                return self._readyz
             if parts == ["stats"]:
-                return lambda: self._send(200, self.service.stats())
+                return lambda: self._with_client(
+                    lambda client: self._send(200, self.service.stats())
+                )
             if parts == ["campaigns"]:
-                return lambda: self._send(
-                    200, {"jobs": self.service.jobs.list()}
+                return lambda: self._with_client(
+                    lambda client: self._send(
+                        200, {"jobs": self.service.jobs.list()}
+                    )
                 )
             if len(parts) == 2 and parts[0] == "campaigns":
-                return lambda: self._send(200, self.service.status(parts[1]))
+                return lambda: self._with_client(
+                    lambda client: self._send(
+                        200, self.service.status(parts[1], client=client)
+                    )
+                )
             if len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "spec":
-                return lambda: self._send(200, self.service.spec(parts[1]))
+                return lambda: self._with_client(
+                    lambda client: self._send(
+                        200, self.service.spec(parts[1], client=client)
+                    )
+                )
             if len(parts) == 3 and parts[0] == "cache":
-                return lambda: self._cache_get(parts[1], parts[2])
+                return lambda: self._with_client(
+                    lambda client: self._cache_get(parts[1], parts[2])
+                )
         elif method == "POST":
             if parts == ["campaigns"]:
-                return lambda: self._send(201, self.service.submit(self._body()))
+                return lambda: self._with_client(
+                    lambda client: self._send(
+                        201, self.service.submit(self._body(), client=client)
+                    )
+                )
+            if parts == ["cache", "batch"]:
+                return lambda: self._with_client(
+                    lambda client: self._cache_get_batch()
+                )
         elif method == "PUT":
+            if parts == ["cache", "batch"]:
+                return lambda: self._with_client(self._cache_put_batch)
             if len(parts) == 3 and parts[0] == "cache":
-                return lambda: self._cache_put(parts[1], parts[2])
+                return lambda: self._with_client(
+                    lambda client: self._cache_put(parts[1], parts[2], client)
+                )
         elif method == "DELETE":
             if len(parts) == 2 and parts[0] == "campaigns":
-                return lambda: self._send(200, self.service.cancel(parts[1]))
+                return lambda: self._with_client(
+                    lambda client: self._send(
+                        200, self.service.cancel(parts[1], client=client)
+                    )
+                )
         return None
+
+    def _with_client(self, handler):
+        handler(self._client())
+
+    def _readyz(self):
+        """Readiness is distinct from liveness: a draining or
+        still-adopting service is alive (200 /healthz) but must not
+        receive new traffic (503 here, with a retry hint)."""
+        if self.service.ready:
+            return self._send(200, {"ready": True})
+        reason = "draining" if self.service.draining else "starting"
+        self._send(
+            503, {"ready": False, "reason": reason}, headers={"Retry-After": 5}
+        )
 
     # -- cache bodies (raw-ish: payload only, no envelope) -------------
 
@@ -147,9 +220,27 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return self._error(404, "cache_miss", f"{fingerprint}/{key}")
         self._send(200, payload)
 
-    def _cache_put(self, fingerprint, key):
-        self.service.cache_put(fingerprint, key, self._body())
+    def _cache_put(self, fingerprint, key, client):
+        self.service.cache_put(fingerprint, key, self._body(), client=client)
         self._send(200, {"ok": True})
+
+    def _cache_get_batch(self):
+        body = self._body()
+        if not isinstance(body, dict) or not body.get("fingerprint"):
+            raise JobError('cache batch body must be {"fingerprint", "keys"?}')
+        entries = self.service.cache_get_batch(
+            body["fingerprint"], body.get("keys")
+        )
+        self._send(200, {"entries": entries})
+
+    def _cache_put_batch(self, client):
+        body = self._body()
+        if not isinstance(body, dict) or not body.get("fingerprint"):
+            raise JobError('cache batch body must be {"fingerprint", "entries"}')
+        stored = self.service.cache_put_batch(
+            body["fingerprint"], body.get("entries"), client=client
+        )
+        self._send(200, {"stored": stored})
 
     # -- verbs ---------------------------------------------------------
 

@@ -11,13 +11,22 @@ stable across restarts too.
 State machine::
 
     queued -> running -> done | failed
-                  \\-> cancelled   (client DELETE, or service cancel)
+       |          \\-> cancelled   (client DELETE, or service cancel)
+       \\------------> expired     (deadline_s elapsed; partial specs
+                                    salvaged via the supervisor)
 
 ``done`` means every target's campaign finished with a spec;
 ``failed`` means at least one ended quarantined or incomplete (the
-per-target detail travels in the job record).  Terminal states are
-forever: a restarted service re-adopts only ``queued`` and ``running``
-jobs.
+per-target detail travels in the job record); ``expired`` means the
+job's own ``deadline_s`` elapsed first -- open campaigns are marked
+incomplete with whatever partial spec their newest checkpoint holds.
+Terminal states are forever: a restarted service re-adopts only
+``queued`` and ``running`` jobs.
+
+Jobs also carry a ``priority`` (higher runs first) and the submitting
+``client``; :func:`schedule_order` is the one scheduling comparator --
+strict priority, FIFO by dense job id within a priority level -- so
+the queue order is deterministic and restart-stable.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ import json
 import pathlib
 import re
 import threading
+import time
 
 from repro.errors import DiscoveryError
 
@@ -34,16 +44,28 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+EXPIRED = "expired"
 
 #: states a restarted service picks back up
 OPEN_STATES = (QUEUED, RUNNING)
-TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+TERMINAL_STATES = (DONE, FAILED, CANCELLED, EXPIRED)
 
 _JOB_ID = re.compile(r"^job-(\d{6})$")
 
 #: venue knobs a client may set per job; everything else is refused so
 #: typos fail loudly instead of silently configuring nothing
-SUBMIT_KNOBS = ("seed", "workers", "max_attempts", "escalate_votes")
+SUBMIT_KNOBS = (
+    "seed",
+    "workers",
+    "max_attempts",
+    "escalate_votes",
+    "priority",
+    "deadline_s",
+)
+
+#: priority bounds: wide enough for tiers, tight enough that a typo'd
+#: epoch timestamp cannot silently monopolise the queue
+PRIORITY_MIN, PRIORITY_MAX = -100, 100
 
 
 class JobError(DiscoveryError):
@@ -61,6 +83,54 @@ def _validate_workers(workers):
         ) from None
 
 
+def _validate_priority(priority):
+    if priority is None:
+        return 0
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise JobError(f"priority must be an integer, got {priority!r}")
+    if not PRIORITY_MIN <= priority <= PRIORITY_MAX:
+        raise JobError(
+            f"priority must be in [{PRIORITY_MIN}, {PRIORITY_MAX}], got {priority}"
+        )
+    return priority
+
+
+def _validate_deadline(deadline_s):
+    if deadline_s is None:
+        return None
+    try:
+        deadline_s = float(deadline_s)
+    except (TypeError, ValueError):
+        raise JobError(f"deadline_s must be a number, got {deadline_s!r}") from None
+    if deadline_s <= 0:
+        raise JobError(f"deadline_s must be positive, got {deadline_s}")
+    return deadline_s
+
+
+def schedule_order(jobs):
+    """The queue's one comparator: strict priority (higher first),
+    FIFO by dense job id within a level.  Deterministic and
+    restart-stable -- both the promotion order and the per-tick slot
+    hand-out use exactly this."""
+    return sorted(jobs, key=lambda job: (-job.get("priority", 0), job["id"]))
+
+
+def deadline_expired(job, now=None):
+    """True when the job's wall-clock budget has elapsed.  Deadlines
+    are venue (they bound *when* work happens, never what it answers),
+    so the wall clock is the correct reference -- it survives service
+    restarts, which monotonic time cannot."""
+    deadline_s = job.get("deadline_s")
+    if deadline_s is None:
+        return False
+    submitted_at = job.get("submitted_at")
+    if submitted_at is None:
+        return False
+    if now is None:
+        now = time.time()  # detlint: ok[DET003] - venue-only deadline
+    return now - submitted_at > deadline_s
+
+
 class JobStore:
     """Atomic JSON-file-per-job persistence under ``<root>/jobs``."""
 
@@ -70,7 +140,7 @@ class JobStore:
 
     # -- submission ----------------------------------------------------
 
-    def submit(self, targets, known_targets=None, **knobs):
+    def submit(self, targets, known_targets=None, client=None, **knobs):
         """Validate and durably enqueue one campaign; returns the job
         record (state ``queued``)."""
         if not targets or not isinstance(targets, (list, tuple)):
@@ -98,6 +168,10 @@ class JobStore:
             "workers": _validate_workers(knobs.get("workers")),
             "max_attempts": int(knobs.get("max_attempts") or 5),
             "escalate_votes": knobs.get("escalate_votes"),
+            "priority": _validate_priority(knobs.get("priority")),
+            "deadline_s": _validate_deadline(knobs.get("deadline_s")),
+            "submitted_at": time.time(),  # detlint: ok[DET003] - venue-only deadline anchor
+            "client": client,
             "detail": None,
         }
         with self._lock:

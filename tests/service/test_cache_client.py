@@ -1,14 +1,18 @@
 """RemoteProbeCache unit coverage: the ProbeCache surface over HTTP,
-counter parity, and the give-up-after-repeated-transport-failures
-degradation (a dead service must cost misses, not hangs or crashes)."""
+counter parity, batched round trips (whole-shard prefetch + buffered
+puts), and the degrade-then-recover transport story (a dead service
+must cost misses, not hangs or crashes -- and a revived one must get
+its workers back without a worker restart)."""
 
 import socket
 import threading
+import time
 
 import pytest
 
 from repro.service.app import DiscoveryService
 from repro.service.cache_client import (
+    FLUSH_THRESHOLD,
     MAX_TRANSPORT_FAILURES,
     RemoteProbeCache,
 )
@@ -45,19 +49,62 @@ def test_roundtrip_and_counters(cache_service):
     assert remote.stats.misses == 1
 
     remote.put("fp16charfp16char", "execute", "abc123", payload)
-    assert remote.stats.writes == 1
-
+    # puts buffer into the pending overlay: our own write reads back
+    # immediately (and counts a hit) even before any flush
     assert remote.get("fp16charfp16char", "execute", "abc123") == payload
     assert remote.stats.hits == 1
     assert remote.stats.hits_by_verb == {"execute": 1}
     assert remote.stats.misses_by_verb == {"execute": 1}
 
-    # the service's own store holds it: a second client sees the entry
+    # the flush moves it into the service's own store, where a second
+    # client (and the service process itself) sees it
+    remote.flush()
+    assert remote.stats.writes == 1
     other = RemoteProbeCache(server.url)
     assert other.get("fp16charfp16char", "execute", "abc123") == payload
     assert service.cache.get("fp16charfp16char", "execute", "abc123") == payload
     remote.close()
     other.close()
+
+
+def test_close_flushes_pending(cache_service):
+    service, server = cache_service
+    remote = RemoteProbeCache(server.url)
+    remote.put("fp16charfp16char", "execute", "pend01", {"n": 1})
+    assert service.cache.get("fp16charfp16char", "execute", "pend01") is None
+    remote.close()
+    assert service.cache.get("fp16charfp16char", "execute", "pend01") == {"n": 1}
+
+
+def test_flush_threshold_triggers_batch_put(cache_service):
+    service, server = cache_service
+    remote = RemoteProbeCache(server.url)
+    for index in range(FLUSH_THRESHOLD):
+        remote.put("fp16charfp16char", "execute", f"h{index:04d}", {"n": index})
+    # the threshold-crossing put flushed without an explicit flush()
+    assert remote.stats.writes == FLUSH_THRESHOLD
+    assert service.cache.get("fp16charfp16char", "execute", "h0000") == {"n": 0}
+    remote.close()
+
+
+def test_prefetch_answers_warm_lookups_in_one_round_trip(cache_service):
+    service, server = cache_service
+    for index in range(5):
+        service.cache.put("fp16charfp16char", "execute", f"w{index}", {"n": index})
+
+    remote = RemoteProbeCache(server.url)
+    for index in range(5):
+        assert remote.get("fp16charfp16char", "execute", f"w{index}") == {
+            "n": index
+        }
+    # one whole-shard POST served all five hits
+    assert remote.round_trips == 1
+    assert remote.stats.hits == 5
+    # and the warm read must not move the service's miss/write counters
+    # (a prefetch is not a probe answer)
+    assert service.cache.stats.misses == 0
+    assert service.cache.stats.writes == 5
+    remote.close()
 
 
 def test_verbs_share_nothing(cache_service):
@@ -93,11 +140,49 @@ def test_dead_service_degrades_to_misses_then_goes_quiet():
         assert remote.get("fp16charfp16char", "execute", f"h{index}") is None
         remote.put("fp16charfp16char", "execute", f"h{index}", {"n": index})
     assert remote._disabled
-    assert "disabled" in remote.describe()
+    assert "cooling down" in remote.describe()
     # every lookup was a miss, none raised, none wrote
     assert remote.stats.misses == MAX_TRANSPORT_FAILURES + 2
     assert remote.stats.writes == 0
     remote.close()
+
+
+def test_cooldown_reenables_against_a_revived_service(tmp_path):
+    """The PR-7 client disabled itself forever after three transport
+    failures; the cooldown probe must bring a worker back once the
+    service returns (e.g. after a drain/restart)."""
+    port = _dead_port()
+    remote = RemoteProbeCache(f"http://127.0.0.1:{port}", timeout=0.5)
+    for index in range(MAX_TRANSPORT_FAILURES):
+        remote.get("fp16charfp16char", "execute", f"h{index}")
+    assert remote._disabled
+
+    # revive the service on the very port the client gave up on
+    service = DiscoveryService(tmp_path, echo=_QUIET)
+    service.cache.put("fp16charfp16char", "execute", "warm01", {"n": 1})
+    server = serve(service, host="127.0.0.1", port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    try:
+        # poll past the cooldown: the half-open probe must re-enable
+        deadline = time.monotonic() + 30.0
+        hit = None
+        while time.monotonic() < deadline:
+            hit = remote.get("fp16charfp16char", "execute", "warm01")
+            if hit is not None:
+                break
+            time.sleep(0.25)
+        assert hit == {"n": 1}
+        assert not remote._disabled
+        assert remote.reenabled >= 1
+    finally:
+        remote.close()
+        server.shutdown()
+        server.server_close()
+        service.cache.close()
+        thread.join(timeout=5.0)
 
 
 def test_rejects_non_http_urls():

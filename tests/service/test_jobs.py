@@ -104,3 +104,69 @@ def test_workers_validation_accepts(value, expected):
 def test_workers_validation_refuses(value):
     with pytest.raises(JobError, match="workers"):
         _validate_workers(value)
+
+
+# -- priorities, deadlines and the expired state (hardening layer) -----
+
+
+def test_priority_and_deadline_persist(tmp_path):
+    job = JobStore(tmp_path).submit(["vax"], priority=7, deadline_s=30)
+    assert job["priority"] == 7
+    assert job["deadline_s"] == 30.0
+    assert job["submitted_at"] > 0
+    assert job["client"] is None
+
+
+def test_priority_defaults_to_zero(tmp_path):
+    job = JobStore(tmp_path).submit(["vax"])
+    assert job["priority"] == 0
+    assert job["deadline_s"] is None
+
+
+@pytest.mark.parametrize("value", ["high", 1.5, True, 101, -101])
+def test_bad_priority_refused(tmp_path, value):
+    with pytest.raises(JobError, match="priority"):
+        JobStore(tmp_path).submit(["vax"], priority=value)
+
+
+@pytest.mark.parametrize("value", ["soon", 0, -5])
+def test_bad_deadline_refused(tmp_path, value):
+    with pytest.raises(JobError, match="deadline_s"):
+        JobStore(tmp_path).submit(["vax"], deadline_s=value)
+
+
+def test_schedule_order_is_strict_priority_then_fifo(tmp_path):
+    store = JobStore(tmp_path)
+    low = store.submit(["vax"], priority=-1)
+    mid_a = store.submit(["vax"])
+    high = store.submit(["vax"], priority=9)
+    mid_b = store.submit(["vax"])
+    ordered = [j["id"] for j in jobstates.schedule_order(store.list())]
+    assert ordered == [high["id"], mid_a["id"], mid_b["id"], low["id"]]
+
+
+def test_schedule_order_is_restart_stable(tmp_path):
+    store = JobStore(tmp_path)
+    for priority in (3, -2, 3, 0):
+        store.submit(["vax"], priority=priority)
+    once = [j["id"] for j in jobstates.schedule_order(store.list())]
+    again = [j["id"] for j in jobstates.schedule_order(JobStore(tmp_path).list())]
+    assert once == again
+
+
+def test_deadline_expired_is_wall_clock_from_submission(tmp_path):
+    job = JobStore(tmp_path).submit(["vax"], deadline_s=60)
+    now = job["submitted_at"]
+    assert not jobstates.deadline_expired(job, now=now + 59)
+    assert jobstates.deadline_expired(job, now=now + 61)
+    # no deadline never expires
+    eternal = JobStore(tmp_path).submit(["mips"])
+    assert not jobstates.deadline_expired(eternal, now=now + 10**9)
+
+
+def test_expired_is_terminal(tmp_path):
+    store = JobStore(tmp_path)
+    job = store.submit(["vax"], deadline_s=1)
+    store.update(job["id"], state=jobstates.EXPIRED)
+    assert jobstates.EXPIRED in jobstates.TERMINAL_STATES
+    assert store.open_jobs() == []
